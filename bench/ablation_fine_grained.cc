@@ -1,0 +1,60 @@
+// Ablation (§3.4 "Enablement of fine-grained persistence") — audit
+// buffering vs forcing every insert's audit record to durable media
+// synchronously.
+//
+// "Since PM is fast and flexible, it enables applications to persist data
+// that would have been too cumbersome and too expensive to persist with
+// the traditional I/O programming model."
+//
+// The baseline WAL discipline buffers audit until commit. Forcing each
+// insert (fine-grained durability — each record durable the moment it is
+// applied) costs a full media round trip per record: catastrophic on
+// disk, affordable on PM.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/sweep.h"
+
+using namespace ods;
+using namespace ods::bench;
+
+int main() {
+  // [medium][forced]
+  double resp[2][2] = {};
+  double tput[2][2] = {};
+
+  workload::ParallelSweep(4, [&](int idx) {
+    const bool pm = idx % 2 == 1;
+    const bool forced = idx / 2 == 1;
+    sim::Simulation sim(61);
+    auto cfg = PaperRig(pm);
+    cfg.force_audit_per_insert = forced;
+    workload::Rig rig(sim, cfg);
+    sim.RunFor(sim::Seconds(1));
+    auto hs = PaperWorkload(/*drivers=*/2, /*boxcar=*/8);
+    hs.records_per_driver = std::min(RecordsPerDriver(), 1000);
+    auto result = workload::RunHotStock(rig, hs);
+    resp[pm ? 1 : 0][forced ? 1 : 0] = result.MeanResponseUs();
+    tput[pm ? 1 : 0][forced ? 1 : 0] = result.Throughput();
+  });
+
+  std::printf("Ablation: fine-grained (per-insert) audit forcing "
+              "(2 drivers, boxcar 8)\n\n");
+  std::printf("%-22s %16s %16s %10s\n", "medium", "buffered WAL",
+              "force-per-insert", "penalty");
+  PrintRule(70);
+  std::printf("%-22s %13.0fus %13.0fus %9.1fx\n", "disk audit volumes",
+              resp[0][0], resp[0][1],
+              resp[0][0] > 0 ? resp[0][1] / resp[0][0] : 0);
+  std::printf("%-22s %13.0fus %13.0fus %9.1fx\n", "persistent memory",
+              resp[1][0], resp[1][1],
+              resp[1][0] > 0 ? resp[1][1] / resp[1][0] : 0);
+  PrintRule(70);
+  std::printf("throughput with per-insert durability: disk %.0f rec/s, "
+              "PM %.0f rec/s (%.1fx)\n",
+              tput[0][1], tput[1][1],
+              tput[0][1] > 0 ? tput[1][1] / tput[0][1] : 0);
+  std::printf("PM makes record-granular durability affordable — the paper's\n"
+              "fine-grained persistence enablement.\n");
+  return 0;
+}

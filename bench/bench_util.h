@@ -1,0 +1,74 @@
+// Shared helpers for the experiment harnesses: canonical rig
+// configurations (paper §4.3 setup), scale handling, table printing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workload/hot_stock.h"
+#include "workload/rig.h"
+
+namespace ods::bench {
+
+// The paper inserts 32000 records per driver. The default here is 1/4
+// scale so the whole bench suite runs in seconds; set
+// ODS_RECORDS_PER_DRIVER=32000 for paper scale (shapes are unchanged —
+// elapsed time scales linearly with record count).
+inline int RecordsPerDriver() {
+  if (const char* env = std::getenv("ODS_RECORDS_PER_DRIVER")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 8000;
+}
+
+// §4.3/§4.4 system: 4 CPUs, 4 files x 4 volumes, 4 auxiliary audit
+// trails (one per CPU).
+inline workload::RigConfig PaperRig(bool pm) {
+  workload::RigConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.num_files = 4;
+  cfg.partitions_per_file = 4;
+  cfg.num_adps = 4;
+  if (pm) {
+    cfg.log_medium = tp::LogMedium::kPm;
+    cfg.pm_device = workload::PmDeviceKind::kPmp;  // PMP on a 5th CPU (§4.3)
+    cfg.pm_log_region_bytes = 16ull << 20;         // ring; perf runs may wrap
+  }
+  return cfg;
+}
+
+inline workload::HotStockConfig PaperWorkload(int drivers, int boxcar) {
+  workload::HotStockConfig hs;
+  hs.drivers = drivers;
+  hs.inserts_per_txn = boxcar;
+  hs.records_per_driver = RecordsPerDriver();
+  hs.record_bytes = 4096;
+  return hs;
+}
+
+// Runs one hot-stock configuration in a fresh simulation.
+inline workload::HotStockResult RunConfig(bool pm, int drivers, int boxcar,
+                                          std::uint64_t seed = 1) {
+  sim::Simulation sim(seed);
+  workload::Rig rig(sim, PaperRig(pm));
+  sim.RunFor(sim::Seconds(1));  // stack bring-up
+  return workload::RunHotStock(rig, PaperWorkload(drivers, boxcar));
+}
+
+inline const char* TxnSizeLabel(int boxcar) {
+  switch (boxcar) {
+    case 8: return "32k";
+    case 16: return "64k";
+    case 32: return "128k";
+    default: return "?";
+  }
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace ods::bench

@@ -1,0 +1,50 @@
+// Experiment E11 (sizing claim, §1): telecom ODS "support the insertion
+// of tens of thousands of call-data records per second" — each durable
+// before the switch is acknowledged (RTC, no boxcarring at the source).
+// Measures sustained CDR ingest rate vs the number of concurrent switch
+// feeds for both audit media.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/sweep.h"
+
+using namespace ods;
+using namespace ods::bench;
+
+int main() {
+  const int feed_counts[] = {1, 2, 4, 8};
+  constexpr int kN = 4;
+  double rate[kN][2] = {};
+
+  workload::ParallelSweep(kN * 2, [&](int idx) {
+    const bool pm = idx % 2 == 1;
+    const int f_idx = idx / 2;
+    sim::Simulation sim(83);
+    workload::Rig rig(sim, PaperRig(pm));
+    sim.RunFor(sim::Seconds(1));
+    workload::HotStockConfig feed;
+    feed.drivers = feed_counts[f_idx];
+    feed.inserts_per_txn = 1;     // one call per durable transaction
+    feed.record_bytes = 512;      // a CDR, not a 4K trade record
+    feed.records_per_driver = 1500;
+    feed.per_record_cpu = sim::Microseconds(5);
+    auto result = workload::RunHotStock(rig, feed);
+    rate[f_idx][pm ? 1 : 0] = result.Throughput();
+  });
+
+  std::printf("E11: call-data-record ingest rate (1 call = 1 durable txn, "
+              "512B records)\n\n");
+  std::printf("%-12s %18s %18s %12s\n", "switch feeds", "no-PM (CDR/s)",
+              "PM (CDR/s)", "PM advantage");
+  PrintRule(66);
+  for (int i = 0; i < kN; ++i) {
+    std::printf("%-12d %18.0f %18.0f %11.1fx\n", feed_counts[i], rate[i][0],
+                rate[i][1],
+                rate[i][0] > 0 ? rate[i][1] / rate[i][0] : 0);
+  }
+  PrintRule(66);
+  std::printf("paper (§1): telecom ODS must sustain \"tens of thousands of\n"
+              "call-data records per second\" — without boxcarring, only the\n"
+              "PM configuration approaches that class on this 4-CPU node.\n");
+  return 0;
+}

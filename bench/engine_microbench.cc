@@ -1,0 +1,145 @@
+// Host-side microbenchmarks of the simulation engine itself (google-
+// benchmark, real time): event throughput, coroutine primitives, CRC and
+// framing costs. These bound how large an ODS configuration the
+// simulator can drive.
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/process.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "tp/audit.h"
+
+namespace {
+
+using namespace ods;
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t n = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(sim::SimTime{i}, [&n] { ++n; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventDispatch);
+
+class PingPong : public sim::Process {
+ public:
+  PingPong(sim::Simulation& s, sim::Channel<int>& in, sim::Channel<int>& out,
+           int rounds)
+      : Process(s, "pp"), in_(in), out_(out), rounds_(rounds) {}
+
+ protected:
+  sim::Task<void> Main() override {
+    for (int i = 0; i < rounds_; ++i) {
+      out_.Send(i);
+      (void)co_await in_.Receive(*this);
+    }
+  }
+
+ private:
+  sim::Channel<int>& in_;
+  sim::Channel<int>& out_;
+  int rounds_;
+};
+
+class Echo : public sim::Process {
+ public:
+  Echo(sim::Simulation& s, sim::Channel<int>& in, sim::Channel<int>& out,
+       int rounds)
+      : Process(s, "echo"), in_(in), out_(out), rounds_(rounds) {}
+
+ protected:
+  sim::Task<void> Main() override {
+    for (int i = 0; i < rounds_; ++i) {
+      int v = co_await in_.Receive(*this);
+      out_.Send(v);
+    }
+  }
+
+ private:
+  sim::Channel<int>& in_;
+  sim::Channel<int>& out_;
+  int rounds_;
+};
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  constexpr int kRounds = 1000;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Channel<int> a(sim), b(sim);
+    sim.Spawn<PingPong>(b, a, kRounds);
+    sim.Spawn<Echo>(a, b, kRounds);
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * 2);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::byte> buf(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  for (auto& b : buf) b = static_cast<std::byte>(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(buf));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AuditFraming(benchmark::State& state) {
+  tp::AuditRecord rec;
+  rec.txn = 7;
+  rec.type = tp::AuditType::kUpdate;
+  rec.file_id = 1;
+  rec.key = 99;
+  rec.after_image.assign(4096, std::byte{1});
+  for (auto _ : state) {
+    std::vector<std::byte> out;
+    tp::FrameRecord(rec, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AuditFraming);
+
+void BM_LogScan(benchmark::State& state) {
+  std::vector<std::byte> log;
+  tp::AuditRecord rec;
+  rec.type = tp::AuditType::kUpdate;
+  rec.after_image.assign(512, std::byte{1});
+  for (int i = 0; i < 1000; ++i) {
+    rec.lsn = static_cast<std::uint64_t>(i);
+    tp::FrameRecord(rec, log);
+  }
+  for (auto _ : state) {
+    tp::LogScanner scan(log);
+    int n = 0;
+    while (scan.Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LogScan);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram h;
+  Rng rng(3);
+  for (auto _ : state) {
+    h.Record(rng.Below(1'000'000));
+  }
+  benchmark::DoNotOptimize(h.Percentile(0.99));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

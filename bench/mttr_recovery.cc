@@ -1,0 +1,120 @@
+// Experiment E5 — MTTR (§3.4): "being able to update indices, lock tables
+// and transaction control blocks at a fine grain reduces uncertainty
+// regarding the state of the database, and eliminates costly heuristic
+// searching of audit trail information, leading to shorter MTTR".
+//
+// Procedure: run the hot-stock load to populate the audit trails, then
+// lose power to the whole node, restart, and measure:
+//   * per-component recovery time (ADP tail location, TMF state, DP2 redo),
+//   * end-to-end time until the system commits its first post-crash
+//     transaction,
+// for (a) disk audit trails + scan-based TMF recovery and (b) PM audit
+// trails + PM-resident transaction control blocks.
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "db/txn_client.h"
+
+using namespace ods;
+using namespace ods::bench;
+using sim::Task;
+
+namespace {
+
+class App : public nsk::NskProcess {
+ public:
+  using Body = std::function<Task<void>(App&)>;
+  App(nsk::Cluster& cluster, int cpu, std::string name, Body body)
+      : NskProcess(cluster, cpu, std::move(name)), body_(std::move(body)) {}
+
+ protected:
+  Task<void> Main() override { return body_(*this); }
+
+ private:
+  Body body_;
+};
+
+struct RecoveryResult {
+  double adp_ms = 0;   // worst ADP recovery
+  double tmf_ms = 0;
+  double dp2_ms = 0;   // worst DP2 recovery
+  double first_commit_ms = 0;  // end-to-end time to first new commit
+};
+
+RecoveryResult Measure(bool pm) {
+  sim::Simulation sim(17);
+  auto cfg = PaperRig(pm);
+  cfg.retain_log_image = true;  // cold recovery needs the audit image
+  cfg.pm_tcb = pm;              // PM-resident TCBs (§3.4)
+  workload::Rig rig(sim, cfg);
+  sim.RunFor(sim::Seconds(1));
+
+  // Populate: a few thousand records of committed audit.
+  auto hs = PaperWorkload(/*drivers=*/2, /*boxcar=*/16);
+  hs.records_per_driver = std::min(RecordsPerDriver(), 4000);
+  (void)workload::RunHotStock(rig, hs);
+
+  // Lights out.
+  rig.PowerLoss();
+  sim.RunFor(sim::Seconds(1));
+  const sim::SimTime restart_at = sim.Now();
+  rig.RestartAfterPowerLoss();
+
+  // Drive one transaction to completion as soon as the stack answers.
+  double first_commit_ms = -1;
+  sim.Adopt<App>(rig.cluster(), 3, "prober", [&](App& self) -> Task<void> {
+    db::TxnClient client(self, rig.catalog());
+    while (first_commit_ms < 0) {
+      auto txn = co_await client.Begin();
+      if (!txn.ok()) continue;
+      if (!(co_await client.Insert(*txn, 0, 0xFFFF0001ull,
+                                   std::vector<std::byte>(128, std::byte{1})))
+               .ok()) {
+        (void)co_await client.Abort(*txn);
+        continue;
+      }
+      if ((co_await client.Commit(*txn)).ok()) {
+        first_commit_ms = sim::ToMillisD(self.sim().Now() - restart_at);
+      }
+    }
+  });
+  sim.RunFor(sim::Seconds(600));
+
+  RecoveryResult r;
+  for (auto* adp : rig.adps()) {
+    r.adp_ms = std::max(r.adp_ms, sim::ToMillisD(adp->last_recovery_time()));
+  }
+  r.tmf_ms = sim::ToMillisD(rig.tmf().last_recovery_time());
+  for (auto* dp2 : rig.dp2s()) {
+    r.dp2_ms = std::max(r.dp2_ms, sim::ToMillisD(dp2->last_recovery_time()));
+  }
+  r.first_commit_ms = first_commit_ms;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const RecoveryResult disk = Measure(false);
+  const RecoveryResult pm = Measure(true);
+
+  std::printf("E5: recovery time after whole-node power loss\n");
+  std::printf("(load: 2 drivers x %d records committed before the crash)\n\n",
+              std::min(RecordsPerDriver(), 4000));
+  std::printf("%-34s %14s %14s\n", "component", "disk audit", "PM audit+TCB");
+  PrintRule(66);
+  std::printf("%-34s %12.1fms %12.1fms\n", "ADP log-tail recovery (worst)",
+              disk.adp_ms, pm.adp_ms);
+  std::printf("%-34s %12.1fms %12.1fms\n", "TMF transaction-state recovery",
+              disk.tmf_ms, pm.tmf_ms);
+  std::printf("%-34s %12.1fms %12.1fms\n", "DP2 redo (worst)", disk.dp2_ms,
+              pm.dp2_ms);
+  std::printf("%-34s %12.1fms %12.1fms\n", "time to first new commit",
+              disk.first_commit_ms, pm.first_commit_ms);
+  PrintRule(66);
+  std::printf("paper: PM's fine-grained durable state removes the heuristic\n"
+              "audit-trail search from the recovery path (shorter MTTR =>\n"
+              "better availability and data integrity).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Availability walkthrough: watch process pairs absorb failures while an
+// application keeps committing. Narrates §1.3/§4: checkpointing, fault
+// detection, takeover "in a second or less", and no committed-data loss.
+#include <cstdio>
+#include <functional>
+
+#include "db/txn_client.h"
+#include "workload/rig.h"
+
+using namespace ods;
+using namespace ods::workload;
+using sim::Task;
+
+namespace {
+
+class App : public nsk::NskProcess {
+ public:
+  using Body = std::function<Task<void>(App&)>;
+  App(nsk::Cluster& cluster, int cpu, std::string name, Body body)
+      : NskProcess(cluster, cpu, std::move(name)), body_(std::move(body)) {}
+
+ protected:
+  Task<void> Main() override { return body_(*this); }
+
+ private:
+  Body body_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== process-pair failover demo ==\n\n");
+
+  sim::Simulation sim(404);
+  RigConfig cfg;
+  cfg.num_files = 2;
+  cfg.partitions_per_file = 2;
+  cfg.num_adps = 2;
+  cfg.log_medium = tp::LogMedium::kPm;
+  cfg.pm_device = PmDeviceKind::kNpmuPair;
+  Rig rig(sim, cfg);
+  sim.RunFor(sim::Seconds(1));
+
+  sim.Adopt<App>(rig.cluster(), 2, "app", [&](App& self) -> Task<void> {
+    db::TxnClient client(self, rig.catalog());
+    std::uint64_t key = 0;
+
+    std::uint64_t txn_no = 0;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> committed;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> committed_this_txn;
+    auto commit_one = [&](const char* label) -> Task<void> {
+      const sim::SimTime t0 = self.sim().Now();
+      while (true) {
+        committed_this_txn.clear();
+        auto txn = co_await client.Begin();
+        if (!txn.ok()) continue;
+        // Spread the writes over every file so all partitions (and hence
+        // all audit trails) participate in the commit.
+        bool inserted = true;
+        for (std::uint32_t f = 0;
+             f < static_cast<std::uint32_t>(rig.catalog().num_files()) &&
+             inserted;
+             ++f) {
+          for (int i = 0; i < 2; ++i) {
+            inserted = (co_await client.Insert(
+                            *txn, f, ++key,
+                            std::vector<std::byte>(128, std::byte{1})))
+                           .ok();
+            if (inserted) committed_this_txn.emplace_back(f, key);
+            if (!inserted) break;
+          }
+        }
+        if (!inserted) {
+          (void)co_await client.Abort(*txn);
+          continue;
+        }
+        if ((co_await client.Commit(*txn)).ok()) {
+          committed.insert(committed.end(), committed_this_txn.begin(),
+                           committed_this_txn.end());
+          break;
+        }
+      }
+      ++txn_no;
+      std::printf("  [%8.0fus] committed txn #%llu %s\n",
+                  sim::ToMicrosD(self.sim().Now() - t0),
+                  static_cast<unsigned long long>(txn_no), label);
+    };
+
+    std::printf("baseline:\n");
+    co_await commit_one("(all primaries healthy)");
+    co_await commit_one("(all primaries healthy)");
+
+    std::printf("\nkilling the ADP (log writer) primary...\n");
+    rig.KillAdpPrimary(0);
+    co_await commit_one("(backup ADP promoted; audit intact)");
+
+    std::printf("\nkilling the TMF (transaction monitor) primary...\n");
+    rig.KillTmfPrimary();
+    co_await commit_one("(backup TMF promoted; TCBs checkpointed)");
+
+    std::printf("\nkilling the PMM (PM manager) primary...\n");
+    rig.KillPmmPrimary();
+    co_await commit_one("(data path never even noticed: RDMA is direct)");
+
+    std::printf("\nverifying all %llu committed records...\n",
+                static_cast<unsigned long long>(committed.size()));
+    auto check = co_await client.Begin();
+    if (check.ok()) {
+      std::uint64_t readable = 0;
+      for (const auto& [file, k] : committed) {
+        auto v = co_await client.Read(*check, file, k);
+        if (v.ok()) ++readable;
+      }
+      (void)co_await client.Commit(*check);
+      std::printf("  %llu/%llu readable — %s.\n",
+                  static_cast<unsigned long long>(readable),
+                  static_cast<unsigned long long>(committed.size()),
+                  readable == committed.size() ? "no committed data lost"
+                                               : "DATA LOSS");
+    }
+  });
+  sim.RunFor(sim::Seconds(60));
+
+  std::printf("\nThe first commit after each kill absorbs the takeover "
+              "window\n(fault detection + promotion), then service returns "
+              "to normal.\n");
+  return 0;
+}

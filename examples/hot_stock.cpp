@@ -1,0 +1,66 @@
+// The paper's motivating scenario (§2): a stock exchange ODS with the
+// Hot Stock problem. Buy/sell orders for a hotly-traded security must be
+// committed in order (regulatory constraint), so throughput per stock is
+// inversely proportional to transaction response time. Boxcarring more
+// trades per transaction raises throughput but stretches response time —
+// unless the audit trail lives in persistent memory.
+//
+// Runs the full §4.3 benchmark at a small scale on both configurations
+// and reports what the exchange operator cares about: trades/second per
+// hot stock and order-to-durable latency.
+#include <cstdio>
+
+#include "workload/hot_stock.h"
+#include "workload/rig.h"
+
+using namespace ods;
+using namespace ods::workload;
+
+namespace {
+
+HotStockResult Trade(bool pm, int drivers, int boxcar) {
+  sim::Simulation sim(1987);
+  RigConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.num_files = 4;
+  cfg.partitions_per_file = 4;
+  cfg.num_adps = 4;
+  if (pm) {
+    cfg.log_medium = tp::LogMedium::kPm;
+    cfg.pm_device = PmDeviceKind::kPmp;  // prototype PMP on a 5th CPU
+    cfg.pm_log_region_bytes = 16ull << 20;
+  }
+  Rig rig(sim, cfg);
+  sim.RunFor(sim::Seconds(1));
+
+  HotStockConfig hs;
+  hs.drivers = drivers;          // concurrently hot securities
+  hs.inserts_per_txn = boxcar;   // trades boxcarred per transaction
+  hs.records_per_driver = 2000;  // trades per security this session
+  return RunHotStock(rig, hs);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== hot-stock exchange scenario ==\n\n");
+  std::printf("2 hot securities, 2000 trades each, 4K per trade record.\n\n");
+  std::printf("%-8s %-22s %16s %18s\n", "boxcar", "audit medium",
+              "trades/sec", "order->durable");
+  for (int boxcar : {2, 8, 32}) {
+    for (bool pm : {false, true}) {
+      const auto r = Trade(pm, /*drivers=*/2, boxcar);
+      std::printf("%-8d %-22s %16.0f %15.1fms\n", boxcar,
+                  pm ? "persistent memory" : "audit disks", r.Throughput(),
+                  r.MeanResponseUs() / 1000.0 /
+                      static_cast<double>(1));
+    }
+  }
+  std::printf(
+      "\nThe disk exchange must boxcar aggressively to keep up — and every\n"
+      "boxcarred trade waits longer for its confirmation. With PM the\n"
+      "trade rate is already at its ceiling at small boxcars: \"applications\n"
+      "do not need to artificially combine operations in order to maintain\n"
+      "throughput\" (§4.5).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace ods {
+namespace {
+
+// Table-driven CRC-32C (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::byte> data,
+                     std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (std::byte b : data) {
+    crc = kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed) noexcept {
+  return Crc32c(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size),
+      seed);
+}
+
+}  // namespace ods

@@ -1,0 +1,21 @@
+// CRC-32C (Castagnoli) used for ServerNet packet checksums and PMM
+// metadata self-consistency, mirroring the paper's reliance on link CRCs
+// ("when ServerNet transfer completes without error, the packet is
+// guaranteed to have arrived in the remote NIC with a correct CRC").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ods {
+
+// Computes CRC-32C over `data`, seeded with `seed` (pass a previous crc to
+// chain computations over discontiguous buffers).
+[[nodiscard]] std::uint32_t Crc32c(std::span<const std::byte> data,
+                                   std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] std::uint32_t Crc32c(const void* data, std::size_t size,
+                                   std::uint32_t seed = 0) noexcept;
+
+}  // namespace ods

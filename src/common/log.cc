@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace ods {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+const char* LevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level = level; }
+LogLevel GetLogLevel() noexcept { return g_level; }
+
+void LogMessage(LogLevel level, std::string_view tag, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  char body[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s %.*s] %s\n", LevelName(level),
+               static_cast<int>(tag.size()), tag.data(), body);
+}
+
+}  // namespace ods

@@ -1,0 +1,83 @@
+// Deterministic RNG for simulations. Each simulation owns one Rng seeded
+// from the run config so every experiment is bit-reproducible; derived
+// streams (SplitMix-style) give independent per-process randomness without
+// cross-coupling event order to draw order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ods {
+
+// xoshiro256** — fast, high-quality, and header-only so hot simulation
+// paths can inline draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept { Seed(seed); }
+
+  void Seed(std::uint64_t seed) noexcept {
+    // SplitMix64 expansion of the seed into the full state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t Below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Debiased multiply-shift (Lemire).
+    while (true) {
+      const std::uint64_t x = Next();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * bound;
+      const auto low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (0 - bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) noexcept { return NextDouble() < p; }
+
+  // Derives an independent stream (for a child process / device).
+  [[nodiscard]] Rng Fork() noexcept { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFull); }
+
+  // UniformRandomBitGenerator interface for <algorithm>/<random> interop.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return Next(); }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace ods

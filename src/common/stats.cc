@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace ods {
+
+int LatencyHistogram::BucketIndex(std::uint64_t value) noexcept {
+  if (value < (1u << kSubBucketsLog2)) return static_cast<int>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int octave = msb - kSubBucketsLog2;
+  const auto sub = static_cast<int>((value >> octave) & ((1 << kSubBucketsLog2) - 1));
+  const int index = ((octave + 1) << kSubBucketsLog2) + sub;
+  return std::min(index, kNumBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(int index) noexcept {
+  if (index < (1 << kSubBucketsLog2)) return static_cast<std::uint64_t>(index);
+  const int octave = (index >> kSubBucketsLog2) - 1;
+  const std::uint64_t sub = static_cast<std::uint64_t>(index) &
+                            ((1 << kSubBucketsLog2) - 1);
+  return ((1ull << kSubBucketsLog2) + sub + 1) << octave;
+}
+
+void LatencyHistogram::Record(std::uint64_t value_ns) noexcept {
+  ++buckets_[static_cast<std::size_t>(BucketIndex(value_ns))];
+  ++count_;
+  sum_ += value_ns;
+  min_ = std::min(min_, value_ns);
+  max_ = std::max(max_, value_ns);
+}
+
+std::uint64_t LatencyHistogram::Percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > rank) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) noexcept {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() noexcept { *this = LatencyHistogram{}; }
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), mean() / 1e3,
+                static_cast<double>(Percentile(0.50)) / 1e3,
+                static_cast<double>(Percentile(0.99)) / 1e3,
+                static_cast<double>(max()) / 1e3);
+  return buf;
+}
+
+}  // namespace ods

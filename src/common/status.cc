@@ -1,0 +1,24 @@
+#include "common/status.h"
+
+namespace ods {
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange: return "OUT_OF_RANGE";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
+    case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kTimedOut: return "TIMED_OUT";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ods

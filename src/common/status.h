@@ -1,0 +1,113 @@
+// Status and Result<T>: lightweight error propagation for the ODS stack.
+//
+// The simulated NonStop stack reports most failures as values rather than
+// exceptions (exceptions are reserved for process-kill unwinding in the
+// simulation core, see sim/process.h). Status carries a code and a short
+// message; Result<T> is Status plus a payload.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ods {
+
+// Error taxonomy for the whole stack. Codes are stable so tests can match
+// on them; messages are for humans.
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,        // name/region/record does not exist
+  kAlreadyExists,   // create of an existing object
+  kInvalidArgument, // malformed request
+  kOutOfRange,      // offset/length beyond a region or file
+  kPermissionDenied,// ATT access-control rejection
+  kUnavailable,     // process/device down, path failed; retryable
+  kDataLoss,        // CRC mismatch, both mirrors failed, torn metadata
+  kAborted,         // transaction aborted (deadlock timeout, kill)
+  kTimedOut,        // request/reply deadline expired
+  kResourceExhausted,// out of PM space, queue full
+  kFailedPrecondition,// wrong state for the operation
+  kInternal,        // invariant violation (bug)
+};
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept;
+
+// Value-semantic status. Ok status carries no allocation.
+class Status {
+ public:
+  Status() noexcept : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  [[nodiscard]] std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() noexcept { return Status::Ok(); }
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() && "OK status carries no value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  [[nodiscard]] const Status& status() const noexcept {
+    static const Status kOk = Status::Ok();
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagate a non-OK status from an expression producing Status.
+#define ODS_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::ods::Status _ods_status = (expr);              \
+    if (!_ods_status.ok()) return _ods_status;       \
+  } while (false)
+
+}  // namespace ods

@@ -1,0 +1,60 @@
+// Catalog: which DP2 partition serves a (file, key), and which ADP logs
+// for it. "On-line transaction processing throughput can then be scaled
+// by partitioning the randomly-accessed data across multiple data volumes
+// (disk drives)" (§1.3). The hot-stock database is 4 files, each
+// distributed across 4 disk volumes (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ods::db {
+
+struct PartitionRoute {
+  std::string dp2_service;  // e.g. "$DP-F0-P2"
+  std::string adp_service;  // the log writer covering that partition
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(int num_files, int partitions_per_file)
+      : routes_(static_cast<std::size_t>(num_files),
+                std::vector<PartitionRoute>(
+                    static_cast<std::size_t>(partitions_per_file))) {}
+
+  [[nodiscard]] int num_files() const noexcept {
+    return static_cast<int>(routes_.size());
+  }
+  [[nodiscard]] int partitions_per_file() const noexcept {
+    return routes_.empty() ? 0 : static_cast<int>(routes_[0].size());
+  }
+
+  void SetRoute(int file, int partition, PartitionRoute route) {
+    routes_.at(static_cast<std::size_t>(file))
+        .at(static_cast<std::size_t>(partition)) = std::move(route);
+  }
+
+  // Key-hash partitioning within a file.
+  [[nodiscard]] const PartitionRoute& Route(std::uint32_t file,
+                                            std::uint64_t key) const {
+    const auto& parts = routes_.at(file);
+    // Multiplicative hash so sequential keys spread across partitions.
+    const std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+    return parts[h % parts.size()];
+  }
+
+  // Canonical service names used by the rig.
+  static std::string Dp2Name(int file, int partition) {
+    return "$DP-F" + std::to_string(file) + "-P" + std::to_string(partition);
+  }
+  static std::string AdpName(int index) {
+    return "$ADP" + std::to_string(index);
+  }
+
+ private:
+  std::vector<std::vector<PartitionRoute>> routes_;
+};
+
+}  // namespace ods::db

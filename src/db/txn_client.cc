@@ -1,0 +1,112 @@
+#include "db/txn_client.h"
+
+#include <memory>
+
+#include "common/serialize.h"
+#include "sim/sync.h"
+#include "tp/kinds.h"
+
+namespace ods::db {
+
+using sim::Task;
+
+Task<Result<Transaction>> TxnClient::Begin() {
+  auto r = co_await host_->Call(tmf_service_, tp::kTmfBegin, {});
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  Deserializer d(r->payload);
+  Transaction txn;
+  if (!d.GetU64(txn.id)) {
+    co_return Status(ErrorCode::kInternal, "malformed begin reply");
+  }
+  co_return txn;
+}
+
+Task<Status> TxnClient::Insert(Transaction& txn, std::uint32_t file,
+                               std::uint64_t key,
+                               std::vector<std::byte> value) {
+  const PartitionRoute& route = catalog_->Route(file, key);
+  Serializer s;
+  s.PutU64(txn.id);
+  s.PutU32(file);
+  s.PutU64(key);
+  s.PutBlob(value);
+  txn.dp2s.insert(route.dp2_service);
+  txn.adps.insert(route.adp_service);
+  // The per-attempt timeout must exceed the DP2's lock-wait timeout so a
+  // lock-conflict verdict (kAborted) reaches us instead of an RPC retry.
+  nsk::CallOptions opts;
+  opts.timeout = sim::Seconds(2);
+  opts.max_attempts = 4;
+  auto r = co_await host_->Call(route.dp2_service, tp::kDp2Insert,
+                                std::move(s).Take(), opts);
+  if (!r.ok()) co_return r.status();
+  co_return r->status;
+}
+
+Task<Status> TxnClient::InsertMany(Transaction& txn,
+                                   std::vector<InsertOp> ops) {
+  if (ops.empty()) co_return OkStatus();
+  auto latch = std::make_shared<sim::Latch>(host_->sim(),
+                                            static_cast<int>(ops.size()));
+  auto first_error = std::make_shared<Status>();
+  for (InsertOp& op : ops) {
+    host_->SpawnFiber([](TxnClient& self, Transaction& t, InsertOp one,
+                         std::shared_ptr<sim::Latch> done,
+                         std::shared_ptr<Status> err) -> Task<void> {
+      Status st = co_await self.Insert(t, one.file, one.key,
+                                       std::move(one.value));
+      if (!st.ok() && err->ok()) *err = st;
+      done->Arrive();
+    }(*this, txn, std::move(op), latch, first_error));
+  }
+  co_await latch->Wait(*host_);
+  co_return *first_error;
+}
+
+Task<Result<std::vector<std::byte>>> TxnClient::Read(Transaction& txn,
+                                                     std::uint32_t file,
+                                                     std::uint64_t key) {
+  const PartitionRoute& route = catalog_->Route(file, key);
+  Serializer s;
+  s.PutU64(txn.id);
+  s.PutU32(file);
+  s.PutU64(key);
+  txn.dp2s.insert(route.dp2_service);
+  auto r = co_await host_->Call(route.dp2_service, tp::kDp2Read,
+                                std::move(s).Take());
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  co_return std::move(r->payload);
+}
+
+std::vector<std::byte> TxnClient::ParticipantPayload(
+    const Transaction& txn) const {
+  Serializer s;
+  s.PutU64(txn.id);
+  s.PutU32(static_cast<std::uint32_t>(txn.adps.size()));
+  for (const std::string& a : txn.adps) s.PutString(a);
+  s.PutU32(static_cast<std::uint32_t>(txn.dp2s.size()));
+  for (const std::string& p : txn.dp2s) s.PutString(p);
+  return s.bytes();
+}
+
+Task<Status> TxnClient::Commit(Transaction& txn) {
+  nsk::CallOptions opts;
+  opts.timeout = sim::Seconds(5);  // a disk flush behind a queue is slow
+  auto r = co_await host_->Call(tmf_service_, tp::kTmfCommit,
+                                ParticipantPayload(txn), opts);
+  if (!r.ok()) co_return r.status();
+  co_return r->status;
+}
+
+Task<Status> TxnClient::Abort(Transaction& txn) {
+  nsk::CallOptions opts;
+  opts.timeout = sim::Seconds(5);
+  auto r = co_await host_->Call(tmf_service_, tp::kTmfAbort,
+                                ParticipantPayload(txn), opts);
+  if (!r.ok()) co_return r.status();
+  co_return r->status;
+}
+
+}  // namespace ods::db

@@ -1,0 +1,311 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace ods::net {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+// ---------------------------------------------------------------- Endpoint
+
+Endpoint::Endpoint(Fabric& fabric, EndpointId id, std::string name)
+    : fabric_(fabric), id_(id), name_(std::move(name)),
+      incoming_(fabric.sim()) {}
+
+Status Endpoint::MapWindow(AttWindow window) {
+  if (window.memory == nullptr || window.length == 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty ATT window");
+  }
+  for (const AttWindow& w : windows_) {
+    const bool disjoint = window.nva_base + window.length <= w.nva_base ||
+                          w.nva_base + w.length <= window.nva_base;
+    if (!disjoint) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "ATT window overlaps an existing mapping");
+    }
+  }
+  windows_.push_back(std::move(window));
+  return OkStatus();
+}
+
+Status Endpoint::UnmapWindow(std::uint64_t nva_base) {
+  auto it = std::find_if(windows_.begin(), windows_.end(),
+                         [&](const AttWindow& w) { return w.nva_base == nva_base; });
+  if (it == windows_.end()) {
+    return Status(ErrorCode::kNotFound, "no ATT window at that address");
+  }
+  windows_.erase(it);
+  return OkStatus();
+}
+
+Result<AttWindow*> Endpoint::Translate(EndpointId initiator, std::uint64_t nva,
+                                       std::uint64_t len, bool for_write) {
+  for (AttWindow& w : windows_) {
+    if (nva >= w.nva_base && nva + len <= w.nva_base + w.length) {
+      if (!w.allowed_initiators.empty() &&
+          std::find(w.allowed_initiators.begin(), w.allowed_initiators.end(),
+                    initiator) == w.allowed_initiators.end()) {
+        return Status(ErrorCode::kPermissionDenied,
+                      "initiator not in window access list");
+      }
+      if (for_write && !w.writable) {
+        return Status(ErrorCode::kPermissionDenied, "window is read-only");
+      }
+      return &w;
+    }
+  }
+  return Status(ErrorCode::kOutOfRange,
+                "no ATT window covers the requested range");
+}
+
+sim::Future<Status> Endpoint::StartWrite(EndpointId target, std::uint64_t nva,
+                                         std::vector<std::byte> data) {
+  sim::Promise<Status> done(fabric_.sim());
+  auto fut = done.GetFuture();
+  auto& sim = fabric_.sim();
+  const FabricConfig& cfg = fabric_.config();
+
+  auto fail_after = [&](SimDuration d, Status s) {
+    sim.After(d, [done, s = std::move(s)]() mutable { done.Set(std::move(s)); });
+  };
+
+  if (fabric_.FirstHealthyRail() < 0) {
+    fail_after(cfg.software_latency,
+               Status(ErrorCode::kUnavailable, "all fabric rails down"));
+    return fut;
+  }
+  Endpoint* tgt = fabric_.Find(target);
+  if (tgt == nullptr) {
+    fail_after(cfg.software_latency,
+               Status(ErrorCode::kInvalidArgument, "unknown target endpoint"));
+    return fut;
+  }
+  const SimDuration round_trip =
+      cfg.software_latency + cfg.packet_latency * 2 + cfg.ack_latency;
+  if (tgt->down()) {
+    fail_after(round_trip,
+               Status(ErrorCode::kUnavailable, "target endpoint down"));
+    return fut;
+  }
+  auto win = tgt->Translate(id_, nva, data.size(), /*for_write=*/true);
+  if (!win.ok()) {
+    fail_after(round_trip, win.status());
+    return fut;
+  }
+  std::byte* base = (*win)->memory + (nva - (*win)->nva_base);
+  auto on_write = (*win)->on_write;
+  const std::uint64_t window_off = nva - (*win)->nva_base;
+
+  // Packetize. Each packet lands independently (torn on power failure);
+  // the final ack resolves the future. Concurrent transfers to the same
+  // target queue on its ingress link.
+  const std::uint64_t len = data.size();
+  auto payload = std::make_shared<std::vector<std::byte>>(std::move(data));
+  const SimTime now = sim.Now();
+  const SimTime link_free = std::max(now, tgt->link_busy_until_);
+  tgt->link_busy_until_ = link_free + fabric_.TransferTime(len);
+  SimDuration t = (link_free - now) + cfg.software_latency;
+  bool aborted = false;
+  for (std::uint64_t off = 0; off < len && !aborted; off += cfg.mtu_bytes) {
+    const std::uint64_t chunk = std::min<std::uint64_t>(cfg.mtu_bytes, len - off);
+    t += cfg.packet_latency +
+         sim::FromSecondsD(static_cast<double>(chunk) /
+                           cfg.bandwidth_bytes_per_sec);
+    fabric_.packets_sent_++;
+    if (sim.rng().Bernoulli(fabric_.corruption_rate_)) {
+      // The receiving NIC's CRC check rejects this packet: nothing lands,
+      // the initiator sees a failed transfer. Earlier packets have
+      // already landed — the write is torn.
+      fabric_.packets_corrupted_++;
+      fabric_.crc_detections_++;
+      fail_after(t + cfg.ack_latency,
+                 Status(ErrorCode::kDataLoss, "packet CRC check failed"));
+      aborted = true;
+      break;
+    }
+    sim.After(t, [payload, base, on_write, window_off, off, chunk] {
+      std::memcpy(base + off, payload->data() + off, chunk);
+      if (on_write) on_write(window_off + off, chunk);
+    });
+  }
+  if (!aborted) {
+    fabric_.bytes_transferred_ += len;
+    sim.After(t + cfg.ack_latency, [done]() mutable { done.Set(OkStatus()); });
+  }
+  return fut;
+}
+
+sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
+                                            std::uint64_t nva,
+                                            std::uint64_t len) {
+  sim::Promise<RdmaResult> done(fabric_.sim());
+  auto fut = done.GetFuture();
+  auto& sim = fabric_.sim();
+  const FabricConfig& cfg = fabric_.config();
+
+  auto fail_after = [&](SimDuration d, Status s) {
+    sim.After(d, [done, s = std::move(s)]() mutable {
+      done.Set(RdmaResult{std::move(s), {}});
+    });
+  };
+
+  if (fabric_.FirstHealthyRail() < 0) {
+    fail_after(cfg.software_latency,
+               Status(ErrorCode::kUnavailable, "all fabric rails down"));
+    return fut;
+  }
+  Endpoint* tgt = fabric_.Find(target);
+  if (tgt == nullptr) {
+    fail_after(cfg.software_latency,
+               Status(ErrorCode::kInvalidArgument, "unknown target endpoint"));
+    return fut;
+  }
+  const SimDuration request_leg = cfg.software_latency + cfg.packet_latency;
+  if (tgt->down()) {
+    fail_after(request_leg + cfg.packet_latency + cfg.ack_latency,
+               Status(ErrorCode::kUnavailable, "target endpoint down"));
+    return fut;
+  }
+  auto win = tgt->Translate(id_, nva, len, /*for_write=*/false);
+  if (!win.ok()) {
+    fail_after(request_leg + cfg.packet_latency + cfg.ack_latency,
+               win.status());
+    return fut;
+  }
+  const std::byte* base = (*win)->memory + (nva - (*win)->nva_base);
+
+  // The device snapshots memory when the request arrives, then the data
+  // streams back packet by packet (the response occupies the target's
+  // egress; we bill it to the same link-occupancy clock as writes).
+  {
+    const SimTime now = sim.Now();
+    const SimTime link_free = std::max(now, tgt->link_busy_until_);
+    tgt->link_busy_until_ = link_free + fabric_.TransferTime(len);
+  }
+  sim.After(request_leg, [this, done, base, len, &sim, cfg]() mutable {
+    std::vector<std::byte> data(base, base + len);
+    SimDuration t{0};
+    const std::uint64_t n_packets =
+        std::max<std::uint64_t>(1, (len + cfg.mtu_bytes - 1) / cfg.mtu_bytes);
+    for (std::uint64_t i = 0; i < n_packets; ++i) {
+      fabric_.packets_sent_++;
+      if (sim.rng().Bernoulli(fabric_.corruption_rate_)) {
+        fabric_.packets_corrupted_++;
+        fabric_.crc_detections_++;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(cfg.mtu_bytes, len - i * cfg.mtu_bytes);
+        t += cfg.packet_latency +
+             sim::FromSecondsD(static_cast<double>(chunk) /
+                               cfg.bandwidth_bytes_per_sec);
+        sim.After(t, [done]() mutable {
+          done.Set(RdmaResult{
+              Status(ErrorCode::kDataLoss, "response packet CRC failed"), {}});
+        });
+        return;
+      }
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(cfg.mtu_bytes, len - i * cfg.mtu_bytes);
+      t += cfg.packet_latency +
+           sim::FromSecondsD(static_cast<double>(chunk) /
+                             cfg.bandwidth_bytes_per_sec);
+    }
+    fabric_.bytes_transferred_ += len;
+    sim.After(t, [done, data = std::move(data)]() mutable {
+      done.Set(RdmaResult{OkStatus(), std::move(data)});
+    });
+  });
+  return fut;
+}
+
+sim::Task<Status> Endpoint::Write(sim::Process& proc, EndpointId target,
+                                  std::uint64_t nva,
+                                  std::vector<std::byte> data) {
+  // Retry once per rail on transient unavailability — models the NSK
+  // message system's automatic X/Y rail failover.
+  Status last;
+  for (int attempt = 0; attempt < std::max(1, fabric_.config().num_rails);
+       ++attempt) {
+    last = co_await StartWrite(target, nva, data).Wait(proc);
+    if (last.ok() || last.code() != ErrorCode::kUnavailable) co_return last;
+    if (fabric_.FirstHealthyRail() < 0) co_return last;
+  }
+  co_return last;
+}
+
+sim::Task<RdmaResult> Endpoint::Read(sim::Process& proc, EndpointId target,
+                                     std::uint64_t nva, std::uint64_t len) {
+  RdmaResult last;
+  for (int attempt = 0; attempt < std::max(1, fabric_.config().num_rails);
+       ++attempt) {
+    last = co_await StartRead(target, nva, len).Wait(proc);
+    if (last.status.ok() || last.status.code() != ErrorCode::kUnavailable) {
+      co_return last;
+    }
+    if (fabric_.FirstHealthyRail() < 0) co_return last;
+  }
+  co_return last;
+}
+
+void Endpoint::PostMessage(EndpointId target, std::uint32_t kind,
+                           std::vector<std::byte> payload) {
+  Endpoint* tgt = fabric_.Find(target);
+  if (tgt == nullptr || tgt->down() || fabric_.FirstHealthyRail() < 0) {
+    return;  // dropped; senders detect loss via reply timeout (nsk layer)
+  }
+  const FabricConfig& cfg = fabric_.config();
+  const SimDuration d = cfg.software_latency + cfg.packet_latency +
+                        fabric_.TransferTime(payload.size());
+  auto& sim = fabric_.sim();
+  sim.After(d, [tgt, pkt = Packet{id_, kind, std::move(payload)}]() mutable {
+    if (!tgt->down()) tgt->Incoming().Send(std::move(pkt));
+  });
+}
+
+// ------------------------------------------------------------------ Fabric
+
+Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
+    : sim_(sim), config_(config),
+      rail_up_(static_cast<std::size_t>(std::max(1, config.num_rails)), true) {}
+
+Endpoint& Fabric::CreateEndpoint(std::string name) {
+  const EndpointId id{static_cast<std::uint32_t>(endpoints_.size())};
+  endpoints_.push_back(std::make_unique<Endpoint>(*this, id, std::move(name)));
+  return *endpoints_.back();
+}
+
+Endpoint* Fabric::Find(EndpointId id) noexcept {
+  if (id.value >= endpoints_.size()) return nullptr;
+  return endpoints_[id.value].get();
+}
+
+void Fabric::SetRailDown(int rail, bool is_down) {
+  if (rail >= 0 && rail < static_cast<int>(rail_up_.size())) {
+    rail_up_[static_cast<std::size_t>(rail)] = !is_down;
+  }
+}
+
+bool Fabric::RailUp(int rail) const noexcept {
+  return rail >= 0 && rail < static_cast<int>(rail_up_.size()) &&
+         rail_up_[static_cast<std::size_t>(rail)];
+}
+
+int Fabric::FirstHealthyRail() const noexcept {
+  for (std::size_t i = 0; i < rail_up_.size(); ++i) {
+    if (rail_up_[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+SimDuration Fabric::TransferTime(std::uint64_t bytes) const {
+  const std::uint64_t n_packets =
+      std::max<std::uint64_t>(1, (bytes + config_.mtu_bytes - 1) / config_.mtu_bytes);
+  return config_.packet_latency * static_cast<std::int64_t>(n_packets) +
+         sim::FromSecondsD(static_cast<double>(bytes) /
+                           config_.bandwidth_bytes_per_sec);
+}
+
+}  // namespace ods::net

@@ -1,0 +1,211 @@
+// A ServerNet-class system area network: a dual-rail RDMA fabric with
+// per-endpoint network virtual address spaces.
+//
+// Semantics modelled from the paper (§3.3, §4, §4.1):
+//  * each endpoint presents a 32-bit network virtual address space to
+//    initiators; address-translation hardware in the NIC maps windows of
+//    that space onto device memory and enforces per-initiator access
+//    control;
+//  * hosts perform host-initiated RDMA read/write directly against a
+//    remote endpoint's memory, with no CPU on the remote side;
+//  * packets are acknowledged in hardware; a completed transfer is
+//    guaranteed to have arrived in the remote NIC with a correct CRC;
+//  * the fabric is dual-rail (X/Y); an initiator fails over to the other
+//    rail when one is down;
+//  * software latency of an operation is 10-20us, plus wire time.
+//
+// Transfers land packet-by-packet: a simulated power failure between
+// packet arrivals leaves a torn write, which is exactly the hazard the
+// PMM's self-consistent metadata protocol (pm/metadata.h) must survive.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/time.h"
+
+namespace ods::net {
+
+// Identifies a fabric endpoint (a CPU NIC, an NPMU, a disk controller...).
+struct EndpointId {
+  std::uint32_t value = 0;
+  auto operator<=>(const EndpointId&) const = default;
+};
+
+struct FabricConfig {
+  // Software + NIC initiation latency per operation (the paper's
+  // "software latency is between 10 and 20 microseconds").
+  sim::SimDuration software_latency = sim::Microseconds(15);
+  // Per-packet wire latency (propagation + switching).
+  sim::SimDuration packet_latency = sim::Microseconds(1);
+  // Link bandwidth in bytes/second (ServerNet II class).
+  double bandwidth_bytes_per_sec = 125e6;
+  // Maximum payload per packet.
+  std::uint32_t mtu_bytes = 512;
+  // Hardware acknowledgement latency for the final packet.
+  sim::SimDuration ack_latency = sim::Microseconds(1);
+  int num_rails = 2;
+};
+
+// Window of a target endpoint's network virtual address space mapped onto
+// device memory by the address-translation hardware.
+struct AttWindow {
+  std::uint64_t nva_base = 0;
+  std::uint64_t length = 0;
+  std::byte* memory = nullptr;  // device memory backing this window
+  // Initiators allowed to touch this window. Empty means "any".
+  std::vector<EndpointId> allowed_initiators;
+  bool writable = true;
+  // Notified after a packet's payload lands in device memory (NPMUs use
+  // this to mark dirty bytes for persistence accounting).
+  std::function<void(std::uint64_t offset, std::uint64_t len)> on_write;
+};
+
+struct RdmaResult {
+  Status status;
+  std::vector<std::byte> data;  // for reads
+};
+
+class Fabric;
+
+// One attachment point on the fabric. Endpoints are created via
+// Fabric::CreateEndpoint and owned by the Fabric (stable addresses).
+class Endpoint {
+ public:
+  Endpoint(Fabric& fabric, EndpointId id, std::string name);
+
+  [[nodiscard]] EndpointId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Fabric& fabric() noexcept { return fabric_; }
+
+  // ---- target side: address translation table ----
+
+  // Maps [nva_base, nva_base+memory.size()) onto `memory`. Windows must
+  // not overlap. Returns kInvalidArgument on overlap.
+  Status MapWindow(AttWindow window);
+  // Removes the window starting at nva_base (kNotFound if absent).
+  Status UnmapWindow(std::uint64_t nva_base);
+  void UnmapAll() { windows_.clear(); }
+
+  // Marks the endpoint unreachable (device failure). Initiated operations
+  // targeting it fail with kUnavailable.
+  void SetDown(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
+  // ---- initiator side: host-initiated RDMA ----
+
+  // Begins an RDMA write of `data` to `target`'s address space at `nva`.
+  // The returned future resolves when the final packet is acknowledged;
+  // per the paper, resolution with OK means the data arrived with a
+  // correct CRC. Packets land in target memory as they arrive.
+  sim::Future<Status> StartWrite(EndpointId target, std::uint64_t nva,
+                                 std::vector<std::byte> data);
+
+  // Begins an RDMA read of `len` bytes from `target` at `nva`.
+  sim::Future<RdmaResult> StartRead(EndpointId target, std::uint64_t nva,
+                                    std::uint64_t len);
+
+  // Synchronous (fiber-blocking) variants with automatic rail failover.
+  sim::Task<Status> Write(sim::Process& proc, EndpointId target,
+                          std::uint64_t nva, std::vector<std::byte> data);
+  sim::Task<RdmaResult> Read(sim::Process& proc, EndpointId target,
+                             std::uint64_t nva, std::uint64_t len);
+
+  // ---- messaging (the NSK message system rides on the fabric) ----
+
+  struct Packet {
+    EndpointId from;
+    std::uint32_t kind = 0;
+    std::vector<std::byte> payload;
+  };
+
+  // Delivers a message to `target`'s incoming queue after wire latency.
+  // Fire-and-forget at this layer; request/reply lives in nsk/.
+  void PostMessage(EndpointId target, std::uint32_t kind,
+                   std::vector<std::byte> payload);
+
+  [[nodiscard]] sim::Channel<Packet>& Incoming() noexcept { return incoming_; }
+
+ private:
+  friend class Fabric;
+
+  // Translation: returns the window covering [nva, nva+len) or an error.
+  Result<AttWindow*> Translate(EndpointId initiator, std::uint64_t nva,
+                               std::uint64_t len, bool for_write);
+
+  Fabric& fabric_;
+  EndpointId id_;
+  std::string name_;
+  bool down_ = false;
+  std::vector<AttWindow> windows_;
+  sim::Channel<Packet> incoming_;
+  // Ingress link occupancy: concurrent transfers to the same endpoint
+  // queue behind each other on the wire (saturation behaviour for the
+  // audit-throughput scaling experiment).
+  sim::SimTime link_busy_until_{0};
+};
+
+// The fabric owns endpoints, models transfer timing, and injects faults.
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, FabricConfig config);
+
+  Endpoint& CreateEndpoint(std::string name);
+  [[nodiscard]] Endpoint* Find(EndpointId id) noexcept;
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  // ---- fault injection ----
+
+  // Fails / restores one rail. Operations started on a failed rail fail
+  // fast with kUnavailable; initiators retry on the surviving rail.
+  void SetRailDown(int rail, bool is_down);
+  [[nodiscard]] bool RailUp(int rail) const noexcept;
+  [[nodiscard]] int FirstHealthyRail() const noexcept;
+
+  // Probability that any given packet is corrupted in flight. Corrupted
+  // packets are caught by the receiving NIC's CRC check: their payload is
+  // not written to memory and the transfer fails with kDataLoss.
+  void SetCorruptionRate(double p) noexcept { corruption_rate_ = p; }
+
+  // ---- accounting (read by the data-integrity experiment, E10) ----
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept {
+    return packets_sent_;
+  }
+  [[nodiscard]] std::uint64_t packets_corrupted() const noexcept {
+    return packets_corrupted_;
+  }
+  [[nodiscard]] std::uint64_t crc_detections() const noexcept {
+    return crc_detections_;
+  }
+  [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
+    return bytes_transferred_;
+  }
+
+  // Duration of `bytes` on the wire (packetized).
+  [[nodiscard]] sim::SimDuration TransferTime(std::uint64_t bytes) const;
+
+ private:
+  friend class Endpoint;
+
+  sim::Simulation& sim_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<bool> rail_up_;
+  double corruption_rate_ = 0.0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_corrupted_ = 0;
+  std::uint64_t crc_detections_ = 0;
+  std::uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace ods::net

@@ -1,0 +1,43 @@
+#include "nsk/cluster.h"
+
+#include "nsk/process.h"
+
+namespace ods::nsk {
+
+Cpu::Cpu(Cluster& cluster, int index)
+    : cluster_(cluster), index_(index),
+      endpoint_(cluster.fabric().CreateEndpoint("cpu" + std::to_string(index))),
+      compute_(cluster.sim()) {}
+
+void Cpu::Fail() {
+  if (failed_) return;
+  failed_ = true;
+  endpoint_.SetDown(true);
+  for (NskProcess* p : attached_) {
+    if (p->alive()) p->Kill();
+  }
+}
+
+Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
+    : sim_(sim), config_(config), fabric_(sim, config.fabric),
+      names_(std::make_unique<NameService>(sim)) {
+  cpus_.reserve(static_cast<std::size_t>(config_.num_cpus));
+  for (int i = 0; i < config_.num_cpus; ++i) {
+    cpus_.push_back(std::make_unique<Cpu>(*this, i));
+  }
+}
+
+// Processes hold references into the cluster (CPUs, fabric, names), so
+// the simulation must unwind them while the cluster is still alive.
+// Harnesses should declare the Simulation before the Cluster; this
+// backstop covers that layout, and harnesses owning devices that outlive
+// neither (e.g. NPMUs declared after the Cluster) must call
+// sim.Shutdown() themselves before teardown.
+Cluster::~Cluster() { sim_.Shutdown(); }
+
+sim::SimDuration Cluster::MessageLatency(std::size_t bytes) const {
+  return config_.fabric.software_latency + config_.fabric.packet_latency +
+         fabric_.TransferTime(bytes);
+}
+
+}  // namespace ods::nsk

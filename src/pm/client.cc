@@ -1,0 +1,224 @@
+#include "pm/client.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace ods::pm {
+
+using sim::Task;
+
+// ----------------------------------------------------------------- client
+
+Task<Result<PmRegion>> PmClient::Create(const std::string& name,
+                                        std::uint64_t length,
+                                        std::vector<std::uint32_t> access_list) {
+  if (!access_list.empty()) {
+    const std::uint32_t self = host_->cpu().endpoint().id().value;
+    if (std::find(access_list.begin(), access_list.end(), self) ==
+        access_list.end()) {
+      access_list.push_back(self);
+    }
+  }
+  Serializer s;
+  s.PutString(name);
+  s.PutU64(length);
+  s.PutU32(static_cast<std::uint32_t>(access_list.size()));
+  for (std::uint32_t id : access_list) s.PutU32(id);
+
+  auto r = co_await host_->Call(pmm_service_, kPmCreateRegion,
+                                std::move(s).Take());
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok() && r->status.code() != ErrorCode::kAlreadyExists) {
+    co_return r->status;
+  }
+  auto handle = RegionHandle::Deserialize(r->payload);
+  if (!handle) {
+    co_return Status(ErrorCode::kInternal, "malformed create reply");
+  }
+  co_return PmRegion(*this, *host_, std::move(*handle));
+}
+
+Task<Result<PmRegion>> PmClient::Open(const std::string& name) {
+  Serializer s;
+  s.PutString(name);
+  s.PutU32(host_->cpu().endpoint().id().value);
+  auto r = co_await host_->Call(pmm_service_, kPmOpenRegion,
+                                std::move(s).Take());
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  auto handle = RegionHandle::Deserialize(r->payload);
+  if (!handle) co_return Status(ErrorCode::kInternal, "malformed open reply");
+  co_return PmRegion(*this, *host_, std::move(*handle));
+}
+
+Task<Status> PmClient::Delete(const std::string& name) {
+  Serializer s;
+  s.PutString(name);
+  auto r = co_await host_->Call(pmm_service_, kPmDeleteRegion,
+                                std::move(s).Take());
+  if (!r.ok()) co_return r.status();
+  co_return r->status;
+}
+
+Task<Result<VolumeInfo>> PmClient::Info() {
+  auto r = co_await host_->Call(pmm_service_, kPmVolumeInfo, {});
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  Deserializer d(r->payload);
+  VolumeInfo info;
+  if (!d.GetBool(info.mirror_up) || !d.GetU64(info.free_bytes) ||
+      !d.GetU32(info.region_count)) {
+    co_return Status(ErrorCode::kInternal, "malformed info reply");
+  }
+  co_return info;
+}
+
+Task<Result<std::uint64_t>> PmClient::Resilver() {
+  nsk::CallOptions opts;
+  opts.timeout = sim::Seconds(30);  // a full copy can take a while
+  opts.max_attempts = 2;
+  auto r = co_await host_->Call(pmm_service_, kPmResilver, {}, opts);
+  if (!r.ok()) co_return r.status();
+  if (!r->status.ok()) co_return r->status;
+  Deserializer d(r->payload);
+  std::uint64_t copied = 0;
+  (void)d.GetU64(copied);  // absent when already in sync
+  co_return copied;
+}
+
+// ----------------------------------------------------------------- region
+
+Task<void> PmRegion::ReportDeviceDown(std::uint32_t endpoint) {
+  Serializer s;
+  s.PutU32(endpoint);
+  auto r = co_await host_->Call(client_->pmm_service(), kPmMirrorDown,
+                                std::move(s).Take());
+  if (r.ok() && r->status.ok()) {
+    Deserializer d(r->payload);
+    std::uint32_t primary = 0, mirror = 0;
+    bool up = false;
+    if (d.GetU32(primary) && d.GetU32(mirror) && d.GetBool(up)) {
+      handle_.primary_endpoint = primary;
+      handle_.mirror_endpoint = mirror;
+      handle_.mirror_up = up;
+    }
+  }
+}
+
+Task<Status> PmRegion::Write(std::uint64_t offset,
+                             std::vector<std::byte> data) {
+  if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
+  if (offset + data.size() > handle_.length) {
+    co_return Status(ErrorCode::kOutOfRange, "write beyond region");
+  }
+  net::Endpoint& ep = host_->cpu().endpoint();
+  const std::uint64_t nva = handle_.nva + offset;
+  const std::uint64_t nbytes = data.size();
+
+  // Issue to both mirrors in parallel; durability requires the write to
+  // land on every up-to-date mirror.
+  auto f_primary = ep.StartWrite(net::EndpointId{handle_.primary_endpoint},
+                                 nva, data);
+  std::optional<sim::Future<Status>> f_mirror;
+  if (handle_.mirror_up) {
+    f_mirror = ep.StartWrite(net::EndpointId{handle_.mirror_endpoint}, nva,
+                             std::move(data));
+  }
+  Status sp = co_await f_primary.Wait(*host_);
+  Status sm = OkStatus();
+  if (f_mirror) sm = co_await f_mirror->Wait(*host_);
+
+  if (sp.ok() && sm.ok()) {
+    ++writes_;
+    bytes_written_ += nbytes;
+    co_return OkStatus();
+  }
+  // Exactly one mirror failed with a device-level error: data is durable
+  // on the survivor. Report, refresh roles, succeed.
+  const bool primary_dead = sp.code() == ErrorCode::kUnavailable;
+  const bool mirror_dead = sm.code() == ErrorCode::kUnavailable;
+  if (primary_dead && !mirror_dead && sm.ok() && handle_.mirror_up) {
+    co_await ReportDeviceDown(handle_.primary_endpoint);
+    ++writes_;
+    bytes_written_ += nbytes;
+    co_return OkStatus();
+  }
+  if (mirror_dead && !primary_dead && sp.ok()) {
+    co_await ReportDeviceDown(handle_.mirror_endpoint);
+    ++writes_;
+    bytes_written_ += nbytes;
+    co_return OkStatus();
+  }
+  co_return sp.ok() ? sm : sp;
+}
+
+Task<Status> PmRegion::WriteV(std::uint64_t offset,
+                              std::vector<std::vector<std::byte>> segments) {
+  std::size_t total = 0;
+  for (const auto& seg : segments) total += seg.size();
+  std::vector<std::byte> flat;
+  flat.reserve(total);
+  for (const auto& seg : segments) {
+    flat.insert(flat.end(), seg.begin(), seg.end());
+  }
+  co_return co_await Write(offset, std::move(flat));
+}
+
+Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops) {
+  if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
+  net::Endpoint& ep = host_->cpu().endpoint();
+  std::vector<sim::Future<Status>> futures;
+  futures.reserve(ops.size() * 2);
+  std::uint64_t total = 0;
+  for (ScatterOp& op : ops) {
+    if (op.offset + op.bytes.size() > handle_.length) {
+      co_return Status(ErrorCode::kOutOfRange, "scatter write beyond region");
+    }
+    total += op.bytes.size();
+    const std::uint64_t nva = handle_.nva + op.offset;
+    futures.push_back(ep.StartWrite(
+        net::EndpointId{handle_.primary_endpoint}, nva, op.bytes));
+    if (handle_.mirror_up) {
+      futures.push_back(ep.StartWrite(net::EndpointId{handle_.mirror_endpoint},
+                                      nva, std::move(op.bytes)));
+    }
+  }
+  Status first_error;
+  for (auto& f : futures) {
+    Status st = co_await f.Wait(*host_);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  if (first_error.ok()) {
+    ++writes_;
+    bytes_written_ += total;
+  }
+  co_return first_error;
+}
+
+Task<Result<std::vector<std::byte>>> PmRegion::Read(std::uint64_t offset,
+                                                    std::uint64_t len) {
+  if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
+  if (offset + len > handle_.length) {
+    co_return Status(ErrorCode::kOutOfRange, "read beyond region");
+  }
+  net::Endpoint& ep = host_->cpu().endpoint();
+  const std::uint64_t nva = handle_.nva + offset;
+  auto r = co_await ep.Read(*host_, net::EndpointId{handle_.primary_endpoint},
+                            nva, len);
+  if (r.status.ok()) co_return std::move(r.data);
+  if (r.status.code() == ErrorCode::kUnavailable && handle_.mirror_up) {
+    // Fail over to the mirror and tell the PMM.
+    auto r2 = co_await ep.Read(
+        *host_, net::EndpointId{handle_.mirror_endpoint}, nva, len);
+    if (r2.status.ok()) {
+      co_await ReportDeviceDown(handle_.primary_endpoint);
+      co_return std::move(r2.data);
+    }
+    co_return r2.status;
+  }
+  co_return r.status;
+}
+
+}  // namespace ods::pm

@@ -1,0 +1,117 @@
+// Client PM access library (§4.1-§4.2).
+//
+// "Once a PM region has been opened by the PMM, clients can perform RDMA
+// read and write operations directly to the NPMU memory comprising that
+// region. ... To preserve data integrity the API writes data to both the
+// primary and mirror NPMUs; reads need not be replicated. API operations
+// are typically synchronous ... when the call returns the data is either
+// persistent or the call will return in error."
+//
+// The control path (create/open/delete) is messages to the PMM service;
+// the data path never touches the PMM. On device failure the client
+// reports to the PMM (kPmMirrorDown), refreshes its handle, and continues
+// on the surviving mirror — data remains durable throughout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsk/process.h"
+#include "pm/manager.h"
+
+namespace ods::pm {
+
+class PmClient;
+
+// An open region bound to one host process. Byte-grained, synchronous.
+class PmRegion {
+ public:
+  PmRegion() = default;
+
+  [[nodiscard]] const RegionHandle& handle() const noexcept { return handle_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return handle_.length; }
+  [[nodiscard]] bool valid() const noexcept { return host_ != nullptr; }
+
+  // Synchronous write: mirrored to both NPMUs; returns once the data is
+  // persistent (on every up-to-date mirror) or an error.
+  sim::Task<Status> Write(std::uint64_t offset, std::vector<std::byte> data);
+
+  // Gather variant: the segments are written back-to-back at `offset` as
+  // one RDMA op per mirror (pointer-rich data without marshalling).
+  sim::Task<Status> WriteV(std::uint64_t offset,
+                           std::vector<std::vector<std::byte>> segments);
+
+  // Scatter variant: independent (offset, bytes) writes issued
+  // concurrently (RDMA queue depth) and awaited together — the data path
+  // for incremental pointer-fixing flushes (§3.4). Returns the first
+  // failure, but all writes are attempted.
+  struct ScatterOp {
+    std::uint64_t offset;
+    std::vector<std::byte> bytes;
+  };
+  sim::Task<Status> WriteScatter(std::vector<ScatterOp> ops);
+
+  // Synchronous read from the primary mirror (failover to the other).
+  sim::Task<Result<std::vector<std::byte>>> Read(std::uint64_t offset,
+                                                 std::uint64_t len);
+
+  // ---- accounting ----
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  friend class PmClient;
+  PmRegion(PmClient& client, nsk::NskProcess& host, RegionHandle handle)
+      : client_(&client), host_(&host), handle_(std::move(handle)) {}
+
+  // Tells the PMM a device looks dead and refreshes the handle.
+  sim::Task<void> ReportDeviceDown(std::uint32_t endpoint);
+
+  PmClient* client_ = nullptr;
+  nsk::NskProcess* host_ = nullptr;
+  RegionHandle handle_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+class PmClient {
+ public:
+  // `host` is the process on whose behalf operations run (its CPU's
+  // fabric endpoint is the RDMA initiator). `pmm_service` is the PMM
+  // pair's service name.
+  PmClient(nsk::NskProcess& host, std::string pmm_service)
+      : host_(&host), pmm_service_(std::move(pmm_service)) {}
+
+  // Creates a region of `length` bytes. `access_list` restricts which
+  // CPUs (fabric endpoints) may touch it; empty = any. The caller's CPU
+  // is always included. Retries that race a completed create return the
+  // existing region (idempotent).
+  sim::Task<Result<PmRegion>> Create(const std::string& name,
+                                     std::uint64_t length,
+                                     std::vector<std::uint32_t> access_list = {});
+
+  sim::Task<Result<PmRegion>> Open(const std::string& name);
+  sim::Task<Status> Delete(const std::string& name);
+  sim::Task<Result<VolumeInfo>> Info();
+
+  // Asks the PMM to rebuild a repaired mirror from the primary (full
+  // copy). Returns the number of bytes copied. Callers should quiesce
+  // writers for a consistent rebuild.
+  sim::Task<Result<std::uint64_t>> Resilver();
+
+  [[nodiscard]] const std::string& pmm_service() const noexcept {
+    return pmm_service_;
+  }
+  [[nodiscard]] nsk::NskProcess& host() noexcept { return *host_; }
+
+ private:
+  friend class PmRegion;
+
+  nsk::NskProcess* host_;
+  std::string pmm_service_;
+};
+
+}  // namespace ods::pm

@@ -1,0 +1,65 @@
+#include "pm/direct.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ods::pm {
+
+void DirectPm::Store(std::uint64_t offset, std::span<const std::byte> bytes) {
+  assert(offset + bytes.size() <= config_.size_bytes);
+  std::memcpy(buffered_.data() + offset, bytes.data(), bytes.size());
+  const std::uint64_t first = offset / config_.cache_line_bytes;
+  const std::uint64_t last =
+      (offset + bytes.size() - 1) / config_.cache_line_bytes;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    dirty_lines_.insert(line);
+  }
+}
+
+void DirectPm::Load(std::uint64_t offset, std::span<std::byte> out) const {
+  assert(offset + out.size() <= config_.size_bytes);
+  std::memcpy(out.data(), buffered_.data() + offset, out.size());
+}
+
+void DirectPm::WriteBackLine(std::uint64_t line) {
+  const std::uint64_t start = line * config_.cache_line_bytes;
+  const std::uint64_t len =
+      std::min(config_.cache_line_bytes, config_.size_bytes - start);
+  std::memcpy(durable_.data() + start, buffered_.data() + start, len);
+  dirty_lines_.erase(line);
+}
+
+sim::Task<void> DirectPm::FlushLines(sim::Process& proc, std::uint64_t offset,
+                                     std::uint64_t len) {
+  if (len == 0) co_return;
+  const std::uint64_t first = offset / config_.cache_line_bytes;
+  const std::uint64_t last = (offset + len - 1) / config_.cache_line_bytes;
+  std::int64_t flushed = 0;
+  for (std::uint64_t line = first; line <= last; ++line) {
+    if (dirty_lines_.count(line) != 0) {
+      WriteBackLine(line);
+      ++flushed;
+    }
+  }
+  if (flushed > 0) {
+    co_await proc.Sleep(config_.flush_line_latency * flushed);
+  }
+}
+
+sim::Task<void> DirectPm::PersistBarrier(sim::Process& proc) {
+  const auto n = static_cast<std::int64_t>(dirty_lines_.size());
+  while (!dirty_lines_.empty()) {
+    WriteBackLine(*dirty_lines_.begin());
+  }
+  co_await proc.Sleep(config_.barrier_latency +
+                      config_.flush_line_latency * n);
+}
+
+void DirectPm::PowerFail() {
+  // Buffered-but-unflushed lines are lost: the CPU-visible image reverts
+  // to the durable contents.
+  std::memcpy(buffered_.data(), durable_.data(), durable_.size());
+  dirty_lines_.clear();
+}
+
+}  // namespace ods::pm

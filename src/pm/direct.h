@@ -1,0 +1,79 @@
+// Direct-attached persistent memory (§3.2, §5.1 — the paper's "long-term
+// option").
+//
+// "The semantics of store instructions in microprocessors, and the
+// associated compiler optimizations, can also play havoc with durability
+// guarantees" (§3.2): a store retires into a volatile store buffer/cache,
+// NOT into the persistence domain. This model makes that hazard explicit:
+// Store() is volatile until the covering cache lines are flushed and a
+// persist barrier drains them. PowerFail() drops everything still
+// buffered — the tests show both lost and torn updates, which is exactly
+// why the paper's first-generation architecture chose fabric-attached
+// NPMUs instead.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "sim/process.h"
+#include "sim/time.h"
+
+namespace ods::pm {
+
+struct DirectPmConfig {
+  std::uint64_t size_bytes = 1 << 20;
+  std::uint64_t cache_line_bytes = 64;
+  // Write-back cost per cache line (memory-bus class, not fabric class).
+  sim::SimDuration flush_line_latency = sim::Nanoseconds(100);
+  // Cost of the draining barrier itself (sfence/pcommit class).
+  sim::SimDuration barrier_latency = sim::Nanoseconds(200);
+};
+
+class DirectPm {
+ public:
+  explicit DirectPm(DirectPmConfig config = {})
+      : config_(config), durable_(config.size_bytes),
+        buffered_(config.size_bytes) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return config_.size_bytes;
+  }
+
+  // CPU store: lands in the (volatile) store buffer / cache. Free and
+  // instant from the program's perspective — and NOT durable.
+  void Store(std::uint64_t offset, std::span<const std::byte> bytes);
+
+  // CPU load: sees program order (buffered data over durable data).
+  void Load(std::uint64_t offset, std::span<std::byte> out) const;
+
+  // Explicit write-back of the cache lines covering [offset, offset+len):
+  // data reaches the persistence domain, paying per-line latency.
+  sim::Task<void> FlushLines(sim::Process& proc, std::uint64_t offset,
+                             std::uint64_t len);
+  // Drains every dirty line (full persist barrier).
+  sim::Task<void> PersistBarrier(sim::Process& proc);
+
+  // Power loss: buffered lines vanish; the durable array survives.
+  void PowerFail();
+
+  // Post-crash view (what a recovering program would find).
+  [[nodiscard]] std::span<const std::byte> durable() const noexcept {
+    return durable_;
+  }
+  [[nodiscard]] std::size_t dirty_lines() const noexcept {
+    return dirty_lines_.size();
+  }
+
+ private:
+  void WriteBackLine(std::uint64_t line);
+
+  DirectPmConfig config_;
+  std::vector<std::byte> durable_;
+  std::vector<std::byte> buffered_;  // CPU-visible contents
+  std::set<std::uint64_t> dirty_lines_;
+};
+
+}  // namespace ods::pm

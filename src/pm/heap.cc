@@ -1,0 +1,159 @@
+#include "pm/heap.h"
+
+namespace ods::pm {
+
+using sim::Task;
+
+namespace {
+constexpr std::uint32_t kHeapMagic = 0x504D4850;  // "PMHP"
+}
+
+std::vector<std::byte> PmHeap::EncodeHeader() const {
+  Serializer s;
+  s.PutU32(kHeapMagic);
+  s.PutU64(root_);
+  s.PutU64(next_);
+  s.PutU32(Crc32c(s.bytes()));
+  return std::move(s).Take();
+}
+
+Status PmHeap::DecodeHeader(std::span<const std::byte> raw) {
+  Deserializer d(raw);
+  std::uint32_t magic = 0, stored = 0;
+  std::uint64_t root = 0, next = 0;
+  if (!d.GetU32(magic) || magic != kHeapMagic || !d.GetU64(root) ||
+      !d.GetU64(next) || !d.GetU32(stored)) {
+    return Status(ErrorCode::kDataLoss, "heap header invalid");
+  }
+  Serializer check;
+  check.PutU32(magic);
+  check.PutU64(root);
+  check.PutU64(next);
+  if (Crc32c(check.bytes()) != stored) {
+    return Status(ErrorCode::kDataLoss, "heap header CRC mismatch");
+  }
+  if (next < kHeaderBytes || next > image_.size()) {
+    return Status(ErrorCode::kDataLoss, "heap header out of range");
+  }
+  root_ = root;
+  next_ = next;
+  return OkStatus();
+}
+
+Task<Status> PmHeap::Format() {
+  std::fill(image_.begin(), image_.end(), std::byte{0});
+  next_ = kHeaderBytes;
+  root_ = PmPtr<int>::kNull;
+  dirty_.clear();
+  header_dirty_ = true;
+  co_return co_await FlushDirty();
+}
+
+Task<Status> PmHeap::Load() {
+  // Bulk read of the used prefix: first the header (to learn `next_`),
+  // then the arena.
+  auto header = co_await region_.Read(0, kHeaderBytes);
+  if (!header.ok()) co_return header.status();
+  if (Status st = DecodeHeader(*header); !st.ok()) co_return st;
+  if (next_ > kHeaderBytes) {
+    auto body = co_await region_.Read(kHeaderBytes, next_ - kHeaderBytes);
+    if (!body.ok()) co_return body.status();
+    std::copy(body->begin(), body->end(),
+              image_.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes));
+  }
+  dirty_.clear();
+  header_dirty_ = false;
+  co_return OkStatus();
+}
+
+Result<std::uint64_t> PmHeap::Allocate(std::uint64_t size,
+                                       std::uint64_t align) {
+  const std::uint64_t aligned = (next_ + align - 1) / align * align;
+  if (aligned + size > image_.size()) {
+    return Status(ErrorCode::kResourceExhausted, "heap region full");
+  }
+  next_ = aligned + size;
+  header_dirty_ = true;
+  return aligned;
+}
+
+void PmHeap::MarkDirty(std::uint64_t offset, std::uint64_t len) {
+  if (len == 0) return;
+  std::uint64_t start = offset;
+  std::uint64_t end = offset + len;
+  // Merge with any overlapping/adjacent ranges.
+  auto it = dirty_.upper_bound(start);
+  if (it != dirty_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = dirty_.erase(prev);
+    }
+  }
+  while (it != dirty_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = dirty_.erase(it);
+  }
+  dirty_[start] = end;
+}
+
+std::uint64_t PmHeap::dirty_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [start, end] : dirty_) n += end - start;
+  return n;
+}
+
+Task<Status> PmHeap::FlushDirty() {
+  // Data first, header (with the new `next`) last, so a crash mid-flush
+  // leaves the old consistent prefix reachable. The scattered range
+  // writes are pipelined (RDMA queue depth), not serialized.
+  auto ranges = std::move(dirty_);
+  dirty_.clear();
+  if (!ranges.empty()) {
+    std::vector<PmRegion::ScatterOp> ops;
+    ops.reserve(ranges.size());
+    std::uint64_t total = 0;
+    for (const auto& [start, end] : ranges) {
+      ops.push_back(PmRegion::ScatterOp{
+          start, std::vector<std::byte>(
+                     image_.begin() + static_cast<std::ptrdiff_t>(start),
+                     image_.begin() + static_cast<std::ptrdiff_t>(end))});
+      total += end - start;
+    }
+    Status st = co_await region_.WriteScatter(std::move(ops));
+    if (!st.ok()) {
+      dirty_ = std::move(ranges);  // retryable
+      co_return st;
+    }
+    bytes_flushed_ += total;
+    flush_ops_ += ranges.size();
+  }
+  if (header_dirty_) {
+    Status st = co_await region_.Write(0, EncodeHeader());
+    if (!st.ok()) co_return st;
+    header_dirty_ = false;
+    bytes_flushed_ += kHeaderBytes;
+    ++flush_ops_;
+  }
+  co_return OkStatus();
+}
+
+Task<Status> PmHeap::FlushAll() {
+  std::vector<std::byte> body(
+      image_.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+      image_.begin() + static_cast<std::ptrdiff_t>(next_));
+  Status st = co_await region_.Write(kHeaderBytes, std::move(body));
+  if (!st.ok()) co_return st;
+  bytes_flushed_ += next_ - kHeaderBytes;
+  ++flush_ops_;
+  st = co_await region_.Write(0, EncodeHeader());
+  if (!st.ok()) co_return st;
+  header_dirty_ = false;
+  bytes_flushed_ += kHeaderBytes;
+  ++flush_ops_;
+  dirty_.clear();
+  co_return OkStatus();
+}
+
+}  // namespace ods::pm

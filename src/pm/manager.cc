@@ -1,0 +1,460 @@
+#include "pm/manager.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace ods::pm {
+
+using nsk::Request;
+using sim::Task;
+
+namespace {
+
+constexpr std::uint64_t kRegionAlign = 256;
+
+std::uint64_t AlignUp(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+std::uint64_t SlotNva(int slot) {
+  return static_cast<std::uint64_t>(slot) * kMetadataCopyBytes;
+}
+
+}  // namespace
+
+std::vector<std::byte> RegionHandle::Serialize() const {
+  Serializer s;
+  s.PutString(name);
+  s.PutU64(nva);
+  s.PutU64(length);
+  s.PutU32(primary_endpoint);
+  s.PutU32(mirror_endpoint);
+  s.PutBool(mirror_up);
+  return std::move(s).Take();
+}
+
+std::optional<RegionHandle> RegionHandle::Deserialize(
+    std::span<const std::byte> bytes) {
+  Deserializer d(bytes);
+  RegionHandle h;
+  if (!d.GetString(h.name) || !d.GetU64(h.nva) || !d.GetU64(h.length) ||
+      !d.GetU32(h.primary_endpoint) || !d.GetU32(h.mirror_endpoint) ||
+      !d.GetBool(h.mirror_up)) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+PmManager::PmManager(nsk::Cluster& cluster, int cpu_index,
+                     std::string service_name, std::string member_name,
+                     PmDevice primary, PmDevice mirror,
+                     std::string volume_name)
+    : PairMember(cluster, cpu_index, std::move(service_name),
+                 std::move(member_name)),
+      primary_(primary), mirror_(mirror) {
+  meta_.volume_name = std::move(volume_name);
+  meta_.data_capacity = std::min(primary_.capacity(), mirror_.capacity());
+  meta_.free_list = {FreeExtent{0, meta_.data_capacity}};
+  if (primary_.id() == mirror_.id()) {
+    // Unmirrored volume (e.g. the single-PMP prototype, §4.3): writing
+    // twice to the same device would only double the traffic.
+    mirror_up_ = false;
+    meta_.mirror_up = false;
+  }
+}
+
+RegionHandle PmManager::MakeHandle(const RegionRecord& r) const {
+  RegionHandle h;
+  h.name = r.name;
+  h.nva = kDataBase + r.offset;
+  h.length = r.length;
+  h.primary_endpoint = primary_.id().value;
+  h.mirror_endpoint = mirror_.id().value;
+  h.mirror_up = mirror_up_;
+  return h;
+}
+
+void PmManager::SetupMetadataWindows() {
+  std::vector<net::EndpointId> pmm_cpus = {cpu().endpoint().id()};
+  if (auto* p = peer(); p != nullptr) {
+    pmm_cpus.push_back(static_cast<nsk::NskProcess*>(p)->cpu().endpoint().id());
+  }
+  for (PmDevice* dev : {&primary_, &mirror_}) {
+    (void)dev->endpoint().UnmapWindow(0);
+    net::AttWindow w;
+    w.nva_base = 0;
+    w.length = kMetadataBytes;
+    w.memory = dev->metadata_memory();
+    w.allowed_initiators = pmm_cpus;
+    w.on_write = [dev = *dev](std::uint64_t, std::uint64_t len) mutable {
+      dev.NoteWrite(len);
+    };
+    (void)dev->endpoint().MapWindow(std::move(w));
+  }
+}
+
+void PmManager::MapRegionWindow(const RegionRecord& r) {
+  std::vector<net::EndpointId> acl;
+  acl.reserve(r.access_list.size() + 2);
+  for (std::uint32_t id : r.access_list) acl.push_back(net::EndpointId{id});
+  if (!acl.empty()) {
+    // The manager always retains access (recovery, resilvering).
+    acl.push_back(cpu().endpoint().id());
+    if (auto* p = peer(); p != nullptr) {
+      acl.push_back(static_cast<nsk::NskProcess*>(p)->cpu().endpoint().id());
+    }
+  }
+  for (PmDevice* dev : {&primary_, &mirror_}) {
+    (void)dev->endpoint().UnmapWindow(kDataBase + r.offset);
+    net::AttWindow w;
+    w.nva_base = kDataBase + r.offset;
+    w.length = r.length;
+    w.memory = dev->data_memory() + r.offset;
+    w.allowed_initiators = acl;
+    w.on_write = [dev = *dev](std::uint64_t, std::uint64_t len) mutable {
+      dev.NoteWrite(len);
+    };
+    (void)dev->endpoint().MapWindow(std::move(w));
+  }
+}
+
+void PmManager::UnmapRegionWindow(const RegionRecord& r) {
+  for (PmDevice* dev : {&primary_, &mirror_}) {
+    (void)dev->endpoint().UnmapWindow(kDataBase + r.offset);
+  }
+}
+
+Task<Status> PmManager::CommitMetadata() {
+  meta_.mirror_up = mirror_up_;
+  std::vector<std::byte> payload = meta_.Serialize();
+  // Commit order: backup first so the takeover candidate is never behind
+  // the devices; then the devices (dual-slot, alternating).
+  (void)co_await CheckpointToBackup(payload);
+
+  const std::vector<std::byte> raw =
+      EncodeSlot(MetadataSlot{next_epoch_, std::move(payload)});
+  const std::uint64_t nva = SlotNva(next_slot_);
+
+  Status primary_status(ErrorCode::kUnavailable, "not attempted");
+  if (primary_.available()) {
+    primary_status =
+        co_await cpu().endpoint().Write(*this, primary_.id(), nva, raw);
+  }
+  // NOTE: never put co_await inside a ternary — GCC 12 miscompiles the
+  // temporary lifetimes of the not-taken branch (frame corruption).
+  Status mirror_status = OkStatus();
+  if (mirror_up_) {
+    if (mirror_.available()) {
+      mirror_status =
+          co_await cpu().endpoint().Write(*this, mirror_.id(), nva, raw);
+    } else {
+      mirror_status = Status(ErrorCode::kUnavailable, "mirror down");
+    }
+  }
+
+  if (!primary_status.ok() && mirror_up_ && mirror_status.ok()) {
+    // Primary device lost: the mirror becomes the primary.
+    std::swap(primary_, mirror_);
+    mirror_up_ = false;
+    meta_.mirror_up = false;
+    ODS_WLOG("pmm", "%s: primary NPMU failed; promoted mirror",
+             name().c_str());
+    primary_status = OkStatus();
+  } else if (!mirror_status.ok() && mirror_up_) {
+    mirror_up_ = false;
+    meta_.mirror_up = false;
+    ODS_WLOG("pmm", "%s: mirror NPMU failed; running on primary only",
+             name().c_str());
+  }
+  if (!primary_status.ok()) {
+    co_return Status(ErrorCode::kDataLoss,
+                     "metadata not durable on any NPMU: " +
+                         primary_status.ToString());
+  }
+  ++next_epoch_;
+  next_slot_ ^= 1;
+  co_return OkStatus();
+}
+
+Task<bool> PmManager::RecoverMetadataFromDevices() {
+  // Read both slots from each reachable device; the newest valid slot
+  // across devices wins, and the device holding it becomes the primary.
+  std::optional<MetadataSlot> best;
+  bool best_from_mirror = false;
+  int best_next_slot = 0;
+  for (int which = 0; which < 2; ++which) {
+    PmDevice& dev = which == 0 ? primary_ : mirror_;
+    if (!dev.available()) continue;
+    auto a = co_await cpu().endpoint().Read(*this, dev.id(), SlotNva(0),
+                                            kMetadataCopyBytes);
+    auto b = co_await cpu().endpoint().Read(*this, dev.id(), SlotNva(1),
+                                            kMetadataCopyBytes);
+    if (!a.status.ok() || !b.status.ok()) continue;
+    auto slot = RecoverSlots(a.data, b.data);
+    if (slot && (!best || slot->epoch > best->epoch)) {
+      best = std::move(slot);
+      best_from_mirror = (which == 1);
+      best_next_slot = NextSlotIndex(a.data, b.data);
+    }
+  }
+  if (!best) co_return false;
+  auto meta = VolumeMetadata::Deserialize(best->payload);
+  if (!meta) co_return false;
+  if (best_from_mirror) std::swap(primary_, mirror_);
+  meta_ = std::move(*meta);
+  mirror_up_ = meta_.mirror_up && mirror_.available();
+  next_epoch_ = best->epoch + 1;
+  next_slot_ = best_next_slot;
+  co_return true;
+}
+
+Task<void> PmManager::OnBecomePrimary(bool via_takeover) {
+  const sim::SimTime t0 = sim().Now();
+  SetupMetadataWindows();
+  const bool recovered = co_await RecoverMetadataFromDevices();
+  if (recovered) {
+    // Reprogram the (volatile) ATT for every allocated region.
+    for (const RegionRecord& r : meta_.regions) MapRegionWindow(r);
+    formatted_ = true;
+  } else if (!formatted_) {
+    // Virgin devices: format the volume.
+    meta_.regions.clear();
+    meta_.free_list = {FreeExtent{0, meta_.data_capacity}};
+    mirror_up_ = mirror_.available() && primary_.id() != mirror_.id();
+    (void)co_await CommitMetadata();
+    formatted_ = true;
+    ODS_ILOG("pmm", "%s: formatted volume %s", name().c_str(),
+             meta_.volume_name.c_str());
+  }
+  (void)via_takeover;
+  last_recovery_time_ = sim().Now() - t0;
+}
+
+Task<void> PmManager::HandleRequest(Request req) {
+  switch (req.kind) {
+    case kPmCreateRegion:
+      co_await HandleCreate(req);
+      break;
+    case kPmOpenRegion:
+      co_await HandleOpen(req);
+      break;
+    case kPmDeleteRegion:
+      co_await HandleDelete(req);
+      break;
+    case kPmVolumeInfo: {
+      Serializer s;
+      s.PutBool(mirror_up_);
+      s.PutU64(meta_.FreeBytes());
+      s.PutU32(static_cast<std::uint32_t>(meta_.regions.size()));
+      req.Respond(OkStatus(), std::move(s).Take());
+      break;
+    }
+    case kPmMirrorDown:
+      HandleMirrorDown(req);
+      break;
+    case kPmResilver:
+      co_await HandleResilver(req);
+      break;
+    default:
+      req.Respond(Status(ErrorCode::kInvalidArgument, "unknown PMM request"));
+  }
+}
+
+Task<void> PmManager::HandleCreate(Request& req) {
+  Deserializer d(req.payload);
+  std::string rname;
+  std::uint64_t length = 0;
+  std::uint32_t n_acl = 0;
+  if (!d.GetString(rname) || !d.GetU64(length) || !d.GetU32(n_acl)) {
+    req.Respond(Status(ErrorCode::kInvalidArgument, "bad create payload"));
+    co_return;
+  }
+  std::vector<std::uint32_t> acl(n_acl);
+  for (auto& id : acl) {
+    if (!d.GetU32(id)) {
+      req.Respond(Status(ErrorCode::kInvalidArgument, "bad create payload"));
+      co_return;
+    }
+  }
+  if (length == 0) {
+    req.Respond(Status(ErrorCode::kInvalidArgument, "zero-length region"));
+    co_return;
+  }
+  if (RegionRecord* existing = meta_.Find(rname); existing != nullptr) {
+    // Idempotent retry support: report the existing region.
+    req.Respond(Status(ErrorCode::kAlreadyExists, rname),
+                MakeHandle(*existing).Serialize());
+    co_return;
+  }
+  length = AlignUp(length, kRegionAlign);
+  auto offset = meta_.Allocate(length);
+  if (!offset.ok()) {
+    req.Respond(offset.status());
+    co_return;
+  }
+  RegionRecord rec{rname, req.from, *offset, length, std::move(acl)};
+  meta_.regions.push_back(rec);
+  Status st = co_await CommitMetadata();
+  if (!st.ok()) {
+    meta_.regions.pop_back();
+    meta_.Release(*offset, length);
+    req.Respond(st);
+    co_return;
+  }
+  MapRegionWindow(rec);
+  req.Respond(OkStatus(), MakeHandle(rec).Serialize());
+}
+
+Task<void> PmManager::HandleOpen(Request& req) {
+  Deserializer d(req.payload);
+  std::string rname;
+  std::uint32_t requester_endpoint = 0;
+  if (!d.GetString(rname) || !d.GetU32(requester_endpoint)) {
+    req.Respond(Status(ErrorCode::kInvalidArgument, "bad open payload"));
+    co_return;
+  }
+  RegionRecord* rec = meta_.Find(rname);
+  if (rec == nullptr) {
+    req.Respond(Status(ErrorCode::kNotFound, "region " + rname));
+    co_return;
+  }
+  if (!rec->access_list.empty() &&
+      std::find(rec->access_list.begin(), rec->access_list.end(),
+                requester_endpoint) == rec->access_list.end()) {
+    req.Respond(Status(ErrorCode::kPermissionDenied,
+                       "CPU not in region access list"));
+    co_return;
+  }
+  // Ensure the window is programmed (it may have been lost to an NPMU
+  // power cycle).
+  MapRegionWindow(*rec);
+  req.Respond(OkStatus(), MakeHandle(*rec).Serialize());
+  co_return;
+}
+
+Task<void> PmManager::HandleDelete(Request& req) {
+  Deserializer d(req.payload);
+  std::string rname;
+  if (!d.GetString(rname)) {
+    req.Respond(Status(ErrorCode::kInvalidArgument, "bad delete payload"));
+    co_return;
+  }
+  RegionRecord* rec = meta_.Find(rname);
+  if (rec == nullptr) {
+    req.Respond(Status(ErrorCode::kNotFound, "region " + rname));
+    co_return;
+  }
+  const RegionRecord copy = *rec;
+  meta_.regions.erase(
+      std::remove_if(meta_.regions.begin(), meta_.regions.end(),
+                     [&](const RegionRecord& r) { return r.name == rname; }),
+      meta_.regions.end());
+  meta_.Release(copy.offset, copy.length);
+  Status st = co_await CommitMetadata();
+  if (!st.ok()) {
+    req.Respond(st);
+    co_return;
+  }
+  UnmapRegionWindow(copy);
+  req.Respond(OkStatus());
+}
+
+Task<void> PmManager::HandleResilver(Request& req) {
+  if (mirror_up_) {
+    req.Respond(OkStatus());  // already in sync
+    co_return;
+  }
+  if (primary_.id() == mirror_.id()) {
+    req.Respond(Status(ErrorCode::kFailedPrecondition,
+                       "volume is unmirrored (single device)"));
+    co_return;
+  }
+  if (!mirror_.available()) {
+    req.Respond(Status(ErrorCode::kUnavailable, "mirror device down"));
+    co_return;
+  }
+  // The replacement device's ATT is virgin: reprogram every window on
+  // both devices, then stream the allocated extents primary -> mirror.
+  SetupMetadataWindows();
+  for (const RegionRecord& r : meta_.regions) MapRegionWindow(r);
+
+  constexpr std::uint64_t kChunk = 256 * 1024;
+  std::uint64_t copied = 0;
+  for (const RegionRecord& r : meta_.regions) {
+    for (std::uint64_t off = 0; off < r.length; off += kChunk) {
+      const std::uint64_t n = std::min(kChunk, r.length - off);
+      const std::uint64_t nva = kDataBase + r.offset + off;
+      auto data = co_await cpu().endpoint().Read(*this, primary_.id(), nva, n);
+      if (!data.status.ok()) {
+        req.Respond(Status(ErrorCode::kUnavailable,
+                           "resilver read failed: " + data.status.ToString()));
+        co_return;
+      }
+      Status st = co_await cpu().endpoint().Write(*this, mirror_.id(), nva,
+                                                  std::move(data.data));
+      if (!st.ok()) {
+        req.Respond(Status(ErrorCode::kUnavailable,
+                           "resilver write failed: " + st.ToString()));
+        co_return;
+      }
+      copied += n;
+    }
+  }
+  mirror_up_ = true;
+  Status st = co_await CommitMetadata();
+  if (!st.ok()) {
+    req.Respond(st);
+    co_return;
+  }
+  ODS_ILOG("pmm", "%s: resilvered mirror (%llu bytes)", name().c_str(),
+           static_cast<unsigned long long>(copied));
+  Serializer s;
+  s.PutU64(copied);
+  req.Respond(OkStatus(), std::move(s).Take());
+}
+
+void PmManager::HandleMirrorDown(Request& req) {
+  Deserializer d(req.payload);
+  std::uint32_t failed_endpoint = 0;
+  if (!d.GetU32(failed_endpoint)) {
+    req.Respond(Status(ErrorCode::kInvalidArgument, "bad report"));
+    return;
+  }
+  if (failed_endpoint == primary_.id().value) {
+    std::swap(primary_, mirror_);
+    mirror_up_ = false;
+    ODS_WLOG("pmm", "%s: client reported primary NPMU down; promoted mirror",
+             name().c_str());
+  } else if (failed_endpoint == mirror_.id().value) {
+    mirror_up_ = false;
+    ODS_WLOG("pmm", "%s: client reported mirror NPMU down", name().c_str());
+  }
+  // Persist the health change in the background; replying immediately
+  // keeps the client's data path unblocked.
+  SpawnFiber([](PmManager& self) -> Task<void> {
+    (void)co_await self.CommitMetadata();
+  }(*this));
+  Serializer s;
+  s.PutU32(primary_.id().value);
+  s.PutU32(mirror_.id().value);
+  s.PutBool(mirror_up_);
+  req.Respond(OkStatus(), std::move(s).Take());
+}
+
+void PmManager::ApplyCheckpoint(std::span<const std::byte> delta) {
+  if (auto m = VolumeMetadata::Deserialize(delta)) {
+    meta_ = std::move(*m);
+    mirror_up_ = meta_.mirror_up;
+    formatted_ = true;
+  }
+}
+
+std::vector<std::byte> PmManager::SnapshotState() { return meta_.Serialize(); }
+
+void PmManager::InstallState(std::span<const std::byte> snapshot) {
+  ApplyCheckpoint(snapshot);
+}
+
+}  // namespace ods::pm

@@ -1,0 +1,135 @@
+// PMM — Persistent Memory Manager (§4.1).
+//
+// "Our architecture uses a Persistent Memory Manager (PMM) process pair
+// for all management functions. ... Each PMM pair controls a mirrored
+// pair of NPMUs. The PMM is charged with managing access to the NPMUs,
+// as well as with managing their metadata."
+//
+// Clients talk to the PMM only on the control path (create/open/delete
+// regions); the data path is direct RDMA to the devices. The PMM:
+//  * allocates regions out of the volume and persists the region table
+//    with the dual-slot self-consistent protocol (pm/metadata.h) on BOTH
+//    mirrors,
+//  * programs the NPMUs' address-translation windows, including the
+//    per-CPU access control the paper describes,
+//  * fails over to its backup with no metadata loss, re-deriving truth
+//    from the devices (two small RDMA reads — this is why PM recovery is
+//    fast),
+//  * handles mirror failure reports from clients by promoting the
+//    surviving device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsk/pair.h"
+#include "pm/metadata.h"
+#include "pm/npmu.h"
+
+namespace ods::pm {
+
+// Control-path message kinds.
+inline constexpr std::uint32_t kPmCreateRegion = 0x200;
+inline constexpr std::uint32_t kPmOpenRegion = 0x201;
+inline constexpr std::uint32_t kPmDeleteRegion = 0x202;
+inline constexpr std::uint32_t kPmVolumeInfo = 0x203;
+inline constexpr std::uint32_t kPmMirrorDown = 0x204;
+inline constexpr std::uint32_t kPmResilver = 0x205;
+
+// What a client holds after opening a region. The data path needs only
+// this — no further PMM involvement.
+struct RegionHandle {
+  std::string name;
+  std::uint64_t nva = 0;  // network virtual address of byte 0
+  std::uint64_t length = 0;
+  std::uint32_t primary_endpoint = 0;
+  std::uint32_t mirror_endpoint = 0;
+  bool mirror_up = true;
+
+  [[nodiscard]] std::vector<std::byte> Serialize() const;
+  static std::optional<RegionHandle> Deserialize(
+      std::span<const std::byte> bytes);
+};
+
+struct VolumeInfo {
+  bool mirror_up = true;
+  std::uint64_t free_bytes = 0;
+  std::uint32_t region_count = 0;
+};
+
+class PmManager : public nsk::PairMember {
+ public:
+  PmManager(nsk::Cluster& cluster, int cpu_index, std::string service_name,
+            std::string member_name, PmDevice primary, PmDevice mirror,
+            std::string volume_name);
+
+  [[nodiscard]] bool mirror_up() const noexcept { return mirror_up_; }
+  // Duration of the last metadata recovery (MTTR accounting, E5).
+  [[nodiscard]] sim::SimDuration last_recovery_time() const noexcept {
+    return last_recovery_time_;
+  }
+
+ protected:
+  sim::Task<void> HandleRequest(nsk::Request req) override;
+  // The control plane serializes: concurrent creates would interleave
+  // allocator updates with in-flight metadata commits.
+  [[nodiscard]] bool serial_requests() const noexcept override {
+    return true;
+  }
+  void ApplyCheckpoint(std::span<const std::byte> delta) override;
+  std::vector<std::byte> SnapshotState() override;
+  void InstallState(std::span<const std::byte> snapshot) override;
+  sim::Task<void> OnBecomePrimary(bool via_takeover) override;
+
+  void OnRestart() override {
+    PairMember::OnRestart();
+    meta_.regions.clear();
+    meta_.free_list = {FreeExtent{0, meta_.data_capacity}};
+    meta_.mirror_up = true;
+    next_epoch_ = 1;
+    next_slot_ = 0;
+    mirror_up_ = primary_.id() != mirror_.id();
+    formatted_ = false;
+  }
+
+ private:
+  sim::Task<void> HandleCreate(nsk::Request& req);
+  sim::Task<void> HandleOpen(nsk::Request& req);
+  sim::Task<void> HandleDelete(nsk::Request& req);
+  void HandleMirrorDown(nsk::Request& req);
+  // Rebuilds a repaired/replaced mirror: copies every allocated region
+  // (and the metadata) from the primary over RDMA, then re-enables
+  // mirroring. The control plane is serialized during the copy; callers
+  // should quiesce or expect writes landing mid-copy on already-copied
+  // extents to be re-mirrored only from the NEXT write on.
+  sim::Task<void> HandleResilver(nsk::Request& req);
+
+  // (Re)maps the metadata windows on both devices, restricted to the PMM
+  // pair's CPUs.
+  void SetupMetadataWindows();
+  // Maps the data window for a region on both devices with its ACL.
+  void MapRegionWindow(const RegionRecord& r);
+  void UnmapRegionWindow(const RegionRecord& r);
+
+  // Persists metadata to both mirrors (dual-slot protocol) and
+  // checkpoints it to the backup. Commit order: backup first (so the
+  // takeover candidate is never behind the devices), then devices.
+  sim::Task<Status> CommitMetadata();
+
+  // Reads & validates metadata from the devices (recovery path).
+  sim::Task<bool> RecoverMetadataFromDevices();
+
+  [[nodiscard]] RegionHandle MakeHandle(const RegionRecord& r) const;
+
+  PmDevice primary_;
+  PmDevice mirror_;
+  VolumeMetadata meta_;
+  std::uint64_t next_epoch_ = 1;
+  int next_slot_ = 0;
+  bool mirror_up_ = true;
+  bool formatted_ = false;
+  sim::SimDuration last_recovery_time_{0};
+};
+
+}  // namespace ods::pm

@@ -1,0 +1,165 @@
+#include "pm/metadata.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+#include "pm/npmu.h"
+
+namespace ods::pm {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504D4D31;  // "PMM1"
+
+}  // namespace
+
+std::vector<std::byte> VolumeMetadata::Serialize() const {
+  Serializer s;
+  s.PutString(volume_name);
+  s.PutU64(data_capacity);
+  s.PutBool(mirror_up);
+  s.PutU32(static_cast<std::uint32_t>(regions.size()));
+  for (const RegionRecord& r : regions) {
+    s.PutString(r.name);
+    s.PutString(r.owner);
+    s.PutU64(r.offset);
+    s.PutU64(r.length);
+    s.PutU32(static_cast<std::uint32_t>(r.access_list.size()));
+    for (std::uint32_t id : r.access_list) s.PutU32(id);
+  }
+  s.PutU32(static_cast<std::uint32_t>(free_list.size()));
+  for (const FreeExtent& f : free_list) {
+    s.PutU64(f.offset);
+    s.PutU64(f.length);
+  }
+  return std::move(s).Take();
+}
+
+std::optional<VolumeMetadata> VolumeMetadata::Deserialize(
+    std::span<const std::byte> bytes) {
+  Deserializer d(bytes);
+  VolumeMetadata m;
+  std::uint32_t n_regions = 0;
+  if (!d.GetString(m.volume_name) || !d.GetU64(m.data_capacity) ||
+      !d.GetBool(m.mirror_up) || !d.GetU32(n_regions)) {
+    return std::nullopt;
+  }
+  m.regions.reserve(n_regions);
+  for (std::uint32_t i = 0; i < n_regions; ++i) {
+    RegionRecord r;
+    std::uint32_t n_acl = 0;
+    if (!d.GetString(r.name) || !d.GetString(r.owner) || !d.GetU64(r.offset) ||
+        !d.GetU64(r.length) || !d.GetU32(n_acl)) {
+      return std::nullopt;
+    }
+    r.access_list.resize(n_acl);
+    for (std::uint32_t& id : r.access_list) {
+      if (!d.GetU32(id)) return std::nullopt;
+    }
+    m.regions.push_back(std::move(r));
+  }
+  std::uint32_t n_free = 0;
+  if (!d.GetU32(n_free)) return std::nullopt;
+  m.free_list.resize(n_free);
+  for (FreeExtent& f : m.free_list) {
+    if (!d.GetU64(f.offset) || !d.GetU64(f.length)) return std::nullopt;
+  }
+  if (!d.ok()) return std::nullopt;
+  return m;
+}
+
+RegionRecord* VolumeMetadata::Find(const std::string& name) {
+  auto it = std::find_if(regions.begin(), regions.end(),
+                         [&](const RegionRecord& r) { return r.name == name; });
+  return it == regions.end() ? nullptr : &*it;
+}
+
+Result<std::uint64_t> VolumeMetadata::Allocate(std::uint64_t length) {
+  for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+    if (it->length >= length) {
+      const std::uint64_t offset = it->offset;
+      it->offset += length;
+      it->length -= length;
+      if (it->length == 0) free_list.erase(it);
+      return offset;
+    }
+  }
+  return Status(ErrorCode::kResourceExhausted,
+                "no free extent of " + std::to_string(length) + " bytes");
+}
+
+void VolumeMetadata::Release(std::uint64_t offset, std::uint64_t length) {
+  auto it = std::find_if(
+      free_list.begin(), free_list.end(),
+      [&](const FreeExtent& f) { return f.offset > offset; });
+  it = free_list.insert(it, FreeExtent{offset, length});
+  // Coalesce with successor, then predecessor.
+  if (auto next = std::next(it);
+      next != free_list.end() && it->offset + it->length == next->offset) {
+    it->length += next->length;
+    free_list.erase(next);
+  }
+  if (it != free_list.begin()) {
+    auto prev = std::prev(it);
+    if (prev->offset + prev->length == it->offset) {
+      prev->length += it->length;
+      free_list.erase(it);
+    }
+  }
+}
+
+std::uint64_t VolumeMetadata::FreeBytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const FreeExtent& f : free_list) total += f.length;
+  return total;
+}
+
+std::vector<std::byte> EncodeSlot(const MetadataSlot& slot) {
+  Serializer s;
+  s.PutU32(kMagic);
+  s.PutU64(slot.epoch);
+  s.PutU32(static_cast<std::uint32_t>(slot.payload.size()));
+  s.PutBytes(slot.payload);
+  const std::uint32_t crc = Crc32c(s.bytes());
+  s.PutU32(crc);
+  return std::move(s).Take();
+}
+
+std::optional<MetadataSlot> DecodeSlot(std::span<const std::byte> raw) {
+  Deserializer d(raw);
+  std::uint32_t magic = 0, len = 0;
+  MetadataSlot slot;
+  if (!d.GetU32(magic) || magic != kMagic) return std::nullopt;
+  if (!d.GetU64(slot.epoch) || !d.GetU32(len)) return std::nullopt;
+  const std::size_t header = 4 + 8 + 4;
+  if (header + len + 4 > raw.size()) return std::nullopt;
+  slot.payload.resize(len);
+  if (!d.GetBytes(slot.payload)) return std::nullopt;
+  std::uint32_t stored_crc = 0;
+  if (!d.GetU32(stored_crc)) return std::nullopt;
+  const std::uint32_t computed = Crc32c(raw.subspan(0, header + len));
+  if (computed != stored_crc) return std::nullopt;
+  return slot;
+}
+
+std::optional<MetadataSlot> RecoverSlots(std::span<const std::byte> slot_a,
+                                         std::span<const std::byte> slot_b) {
+  auto a = DecodeSlot(slot_a);
+  auto b = DecodeSlot(slot_b);
+  if (a && b) return a->epoch >= b->epoch ? a : b;
+  if (a) return a;
+  if (b) return b;
+  return std::nullopt;
+}
+
+int NextSlotIndex(std::span<const std::byte> slot_a,
+                  std::span<const std::byte> slot_b) {
+  auto a = DecodeSlot(slot_a);
+  auto b = DecodeSlot(slot_b);
+  if (a && b) return a->epoch >= b->epoch ? 1 : 0;  // overwrite the older
+  if (a) return 1;
+  if (b) return 0;
+  return 0;
+}
+
+}  // namespace ods::pm

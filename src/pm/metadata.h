@@ -1,0 +1,87 @@
+// PMM metadata: "durable, self-consistent metadata in order to ensure
+// continued access to data after power loss or soft failures" (§3.1).
+//
+// Layout in each NPMU's metadata area (two 4KB slots):
+//
+//   slot A: [magic u32][epoch u64][len u32][payload][crc32 over all prior]
+//   slot B: same
+//
+// Updates alternate slots, writing epoch = max(epochs)+1. A torn write
+// (power loss mid-RDMA) corrupts at most the slot being written; recovery
+// picks the valid slot with the highest epoch. The payload is the region
+// table plus allocator state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fabric.h"
+
+namespace ods::pm {
+
+struct RegionRecord {
+  std::string name;
+  std::string owner;
+  std::uint64_t offset = 0;  // within the data area
+  std::uint64_t length = 0;
+  // Endpoint ids of CPUs allowed to access the region; empty = any.
+  std::vector<std::uint32_t> access_list;
+};
+
+struct FreeExtent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+// The PMM's durable state.
+struct VolumeMetadata {
+  std::string volume_name;
+  std::uint64_t data_capacity = 0;
+  // False when the other mirror is stale (it missed writes while down).
+  // Persisted so a full-cluster restart does not resurrect a stale
+  // mirror as a read source.
+  bool mirror_up = true;
+  std::vector<RegionRecord> regions;
+  std::vector<FreeExtent> free_list;
+
+  [[nodiscard]] std::vector<std::byte> Serialize() const;
+  static std::optional<VolumeMetadata> Deserialize(
+      std::span<const std::byte> bytes);
+
+  [[nodiscard]] RegionRecord* Find(const std::string& name);
+
+  // First-fit allocation from the free list. Returns the offset, or
+  // kResourceExhausted.
+  Result<std::uint64_t> Allocate(std::uint64_t length);
+  // Returns an extent to the free list, coalescing neighbours.
+  void Release(std::uint64_t offset, std::uint64_t length);
+  [[nodiscard]] std::uint64_t FreeBytes() const noexcept;
+};
+
+// One metadata slot image: encode/decode with epoch + CRC framing.
+struct MetadataSlot {
+  std::uint64_t epoch = 0;
+  std::vector<std::byte> payload;
+};
+
+// Encodes a slot image (<= kMetadataCopyBytes once framed).
+[[nodiscard]] std::vector<std::byte> EncodeSlot(const MetadataSlot& slot);
+// Decodes and validates; nullopt if magic/CRC/length check fails.
+[[nodiscard]] std::optional<MetadataSlot> DecodeSlot(
+    std::span<const std::byte> raw);
+
+// Picks the newest valid slot from the two raw slot images (each
+// kMetadataCopyBytes long). Returns nullopt when both are invalid.
+[[nodiscard]] std::optional<MetadataSlot> RecoverSlots(
+    std::span<const std::byte> slot_a, std::span<const std::byte> slot_b);
+
+// Which slot (0=A, 1=B) the NEXT update must target, so the newest valid
+// copy is never overwritten in place.
+[[nodiscard]] int NextSlotIndex(std::span<const std::byte> slot_a,
+                                std::span<const std::byte> slot_b);
+
+}  // namespace ods::pm

@@ -1,0 +1,35 @@
+#include "pm/npmu.h"
+
+#include <algorithm>
+
+namespace ods::pm {
+
+Npmu::Npmu(net::Fabric& fabric, std::string name, NpmuConfig config)
+    : name_(std::move(name)), config_(config),
+      memory_(kMetadataBytes + config.capacity_bytes),
+      endpoint_(fabric.CreateEndpoint(name_)) {}
+
+Pmp::Pmp(nsk::Cluster& cluster, int cpu_index, std::string name,
+         NpmuConfig config)
+    : NskProcess(cluster, cpu_index, std::move(name)), config_(config),
+      memory_(kMetadataBytes + config.capacity_bytes) {}
+
+sim::Task<void> Pmp::Main() {
+  // The prototype's memory is ordinary process memory: when this process
+  // dies (kill, CPU failure), the contents vanish and the RDMA windows
+  // into it are torn down. RAII models that on the unwind path.
+  struct Volatility {
+    Pmp* self;
+    ~Volatility() {
+      self->endpoint().UnmapAll();
+      std::fill(self->memory_.begin(), self->memory_.end(), std::byte{0});
+    }
+  } guard{this};
+
+  cluster().names().Register(name(), this);
+  // The PMP is passive after setup: RDMA bypasses it entirely (that is
+  // the architectural point). It just keeps its memory alive.
+  co_await Halt();
+}
+
+}  // namespace ods::pm

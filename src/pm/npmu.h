@@ -1,0 +1,148 @@
+// NPMU — Network Persistent Memory Unit (§3.3, §4.1).
+//
+// An NPMU is a passive device on the fabric: non-volatile RAM behind a
+// NIC whose address-translation hardware lets hosts read and write it
+// with host-initiated RDMA, "without any involvement by a CPU in the
+// NPMU". Contents survive power loss.
+//
+// Pmp is the paper's prototype stand-in (§4.2): an NSK process that
+// exposes ordinary (volatile) memory to RDMA the same way. It has the
+// performance of an NPMU but loses its contents when the hosting process
+// or CPU dies — which the tests exploit to show why the real device
+// matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "nsk/process.h"
+
+namespace ods::pm {
+
+// Network-virtual-address layout shared by NPMUs and PMPs:
+//   [0, kMetadataBytes)            PMM metadata (two self-consistent copies)
+//   [kDataBase, kDataBase + size)  region data
+inline constexpr std::uint64_t kMetadataCopyBytes = 4096;
+inline constexpr std::uint64_t kMetadataBytes = 2 * kMetadataCopyBytes;
+inline constexpr std::uint64_t kDataBase = 0x10000;
+
+struct NpmuConfig {
+  std::uint64_t capacity_bytes = 64ull << 20;  // data area size
+};
+
+// Hardware NPMU: a fabric endpoint backed by non-volatile memory. Not a
+// process — there is deliberately no CPU in the data path.
+class Npmu {
+ public:
+  Npmu(net::Fabric& fabric, std::string name, NpmuConfig config = {});
+
+  [[nodiscard]] net::Endpoint& endpoint() noexcept { return endpoint_; }
+  [[nodiscard]] net::EndpointId id() const noexcept { return endpoint_.id(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return config_.capacity_bytes;
+  }
+
+  // Device memory: metadata area followed by the data area.
+  [[nodiscard]] std::byte* metadata_memory() noexcept { return memory_.data(); }
+  [[nodiscard]] std::byte* data_memory() noexcept {
+    return memory_.data() + kMetadataBytes;
+  }
+
+  // Power loss: an NPMU's memory is durable — contents survive. Only
+  // in-flight transfers are lost (handled at the fabric layer). The ATT,
+  // however, is volatile NIC state and must be reprogrammed by the PMM
+  // during recovery.
+  void PowerFail() { endpoint_.UnmapAll(); }
+
+  // Device failure / replacement.
+  void Fail() { endpoint_.SetDown(true); }
+  void Repair() { endpoint_.SetDown(false); }
+  [[nodiscard]] bool failed() const noexcept { return endpoint_.down(); }
+
+  // Bytes landed in this device via RDMA (persistence accounting, E7).
+  [[nodiscard]] std::uint64_t bytes_persisted() const noexcept {
+    return bytes_persisted_;
+  }
+  void NoteWrite(std::uint64_t len) noexcept { bytes_persisted_ += len; }
+
+ private:
+  std::string name_;
+  NpmuConfig config_;
+  std::vector<std::byte> memory_;
+  net::Endpoint& endpoint_;
+  std::uint64_t bytes_persisted_ = 0;
+};
+
+// PMP — Persistent Memory Process: the software prototype. Same wire
+// behaviour as an NPMU (its memory is exposed through its host CPU's
+// fabric endpoint at the same NVA layout), but the memory is volatile:
+// when the process dies, the contents are gone.
+class Pmp : public nsk::NskProcess {
+ public:
+  Pmp(nsk::Cluster& cluster, int cpu_index, std::string name,
+      NpmuConfig config = {});
+
+  [[nodiscard]] net::Endpoint& endpoint() noexcept { return cpu().endpoint(); }
+  [[nodiscard]] net::EndpointId id() noexcept { return endpoint().id(); }
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return config_.capacity_bytes;
+  }
+  [[nodiscard]] std::byte* metadata_memory() noexcept { return memory_.data(); }
+  [[nodiscard]] std::byte* data_memory() noexcept {
+    return memory_.data() + kMetadataBytes;
+  }
+  [[nodiscard]] std::uint64_t bytes_persisted() const noexcept {
+    return bytes_persisted_;
+  }
+  void NoteWrite(std::uint64_t len) noexcept { bytes_persisted_ += len; }
+
+ protected:
+  sim::Task<void> Main() override;
+
+ private:
+  NpmuConfig config_;
+  std::vector<std::byte> memory_;
+  std::uint64_t bytes_persisted_ = 0;
+};
+
+// Uniform device handle used by the PMM and client library so the same
+// code runs against hardware NPMUs and PMP prototypes.
+class PmDevice {
+ public:
+  explicit PmDevice(Npmu& npmu) noexcept : npmu_(&npmu) {}
+  explicit PmDevice(Pmp& pmp) noexcept : pmp_(&pmp) {}
+
+  [[nodiscard]] net::Endpoint& endpoint() const noexcept {
+    return npmu_ != nullptr ? npmu_->endpoint() : pmp_->endpoint();
+  }
+  [[nodiscard]] net::EndpointId id() const noexcept { return endpoint().id(); }
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return npmu_ != nullptr ? npmu_->capacity() : pmp_->capacity();
+  }
+  [[nodiscard]] std::byte* metadata_memory() noexcept {
+    return npmu_ != nullptr ? npmu_->metadata_memory() : pmp_->metadata_memory();
+  }
+  [[nodiscard]] std::byte* data_memory() noexcept {
+    return npmu_ != nullptr ? npmu_->data_memory() : pmp_->data_memory();
+  }
+  void NoteWrite(std::uint64_t len) noexcept {
+    if (npmu_ != nullptr) {
+      npmu_->NoteWrite(len);
+    } else {
+      pmp_->NoteWrite(len);
+    }
+  }
+  [[nodiscard]] std::uint64_t bytes_persisted() const noexcept {
+    return npmu_ != nullptr ? npmu_->bytes_persisted() : pmp_->bytes_persisted();
+  }
+  [[nodiscard]] bool available() noexcept { return !endpoint().down(); }
+
+ private:
+  Npmu* npmu_ = nullptr;
+  Pmp* pmp_ = nullptr;
+};
+
+}  // namespace ods::pm

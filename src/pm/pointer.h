@@ -1,0 +1,30 @@
+// Region-relative persistent pointers.
+//
+// §3.4: PM "greatly increases the efficiency with which richly-connected
+// data structures can be copied between address spaces ... Marshalling-
+// unmarshalling of data structures ... can be drastically reduced or
+// eliminated." The enabling trick is storing links as offsets within the
+// region rather than virtual addresses: the structure is valid in any
+// address space that maps the region, and "pointer fixing" is a single
+// base-plus-offset computation instead of a serialization pass.
+#pragma once
+
+#include <cstdint>
+
+namespace ods::pm {
+
+template <typename T>
+struct PmPtr {
+  static constexpr std::uint64_t kNull = ~0ull;
+
+  std::uint64_t offset = kNull;
+
+  [[nodiscard]] bool null() const noexcept { return offset == kNull; }
+  explicit operator bool() const noexcept { return !null(); }
+
+  friend bool operator==(PmPtr a, PmPtr b) noexcept {
+    return a.offset == b.offset;
+  }
+};
+
+}  // namespace ods::pm

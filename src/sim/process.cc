@@ -1,0 +1,108 @@
+#include "sim/process.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "common/log.h"
+#include "sim/simulation.h"
+
+namespace ods::sim {
+
+Process::Process(Simulation& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+Process::~Process() = default;
+
+void Process::Start() {
+  assert(!started_ && "Start() is one-shot; use Restart()");
+  started_ = true;
+  alive_ = true;
+  SpawnFiber(Main());
+}
+
+void Process::SpawnFiber(Task<void> body) {
+  if (!alive_) return;  // process already dead; drop the work
+  FiberMain(std::move(body));
+}
+
+Process::FiberHandle Process::FiberMain(Task<void> body) {
+  ++live_fibers_;
+  try {
+    co_await std::move(body);
+  } catch (const ProcessKilled&) {
+    // Expected teardown path.
+  } catch (const std::exception& e) {
+    ODS_ELOG("proc", "%s: fiber died with exception: %s", name_.c_str(),
+             e.what());
+  }
+  OnFiberExit();
+}
+
+void Process::FiberHandle::promise_type::unhandled_exception() noexcept {
+  // A fiber body escaped FiberMain's handlers — invariant violation.
+  std::fprintf(stderr, "fatal: unhandled exception escaped a fiber root\n");
+  std::abort();
+}
+
+void Process::OnFiberExit() {
+  assert(live_fibers_ > 0);
+  if (--live_fibers_ == 0) {
+    alive_ = false;
+    auto watchers = std::move(death_watchers_);
+    death_watchers_.clear();
+    for (auto& fn : watchers) fn();
+  }
+}
+
+void Process::Kill() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;
+  auto waits = std::move(waits_);
+  waits_.clear();
+  for (auto& ws : waits) {
+    if (ws->TryFire(WaitState::Why::kKilled)) {
+      sim_.ScheduleNow([ws] { ws->handle.resume(); });
+    }
+  }
+  // If no fiber was suspended (e.g. self-kill from a running fiber), the
+  // running fiber will observe !alive() at its next await and unwind.
+  // Fibers still unwinding keep live_fibers_ > 0; death watchers fire
+  // from OnFiberExit when the last one finishes.
+  if (live_fibers_ == 0) {
+    auto watchers = std::move(death_watchers_);
+    death_watchers_.clear();
+    for (auto& fn : watchers) fn();
+  }
+}
+
+void Process::Restart() {
+  assert(live_fibers_ == 0 && "cannot restart while fibers are unwinding");
+  assert(!alive_);
+  OnRestart();  // process memory does not survive a restart
+  alive_ = true;
+  ++epoch_;
+  // Start after any pending same-time unwind events for determinism.
+  sim_.ScheduleNow([this] {
+    if (alive_) SpawnFiber(Main());
+  });
+}
+
+void Process::RegisterWait(const std::shared_ptr<WaitState>& st) {
+  // Lazy compaction keeps the registry O(live waits) without per-resume
+  // bookkeeping.
+  if (waits_.size() >= 32 && waits_.size() % 32 == 0) {
+    std::erase_if(waits_, [](const auto& w) { return w->fired(); });
+  }
+  waits_.push_back(st);
+}
+
+void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
+  state_ = std::make_shared<WaitState>();
+  state_->handle = h;
+  proc_.RegisterWait(state_);
+  proc_.sim().TimerAfter(dur_, state_, WaitState::Why::kFulfilled);
+}
+
+}  // namespace ods::sim

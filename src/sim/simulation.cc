@@ -1,0 +1,95 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <limits>
+
+#include "sim/process.h"
+
+namespace ods::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Simulation::~Simulation() { Shutdown(); }
+
+void Simulation::Schedule(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn), nullptr});
+}
+
+void Simulation::After(SimDuration d, std::function<void()> fn) {
+  Schedule(now_ + d, std::move(fn));
+}
+
+void Simulation::ScheduleNow(std::function<void()> fn) {
+  Schedule(now_, std::move(fn));
+}
+
+void Simulation::ScheduleTimer(SimTime t, std::shared_ptr<WaitState> st,
+                               WaitState::Why why) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++,
+                    [st, why] {
+                      if (st->TryFire(why)) st->handle.resume();
+                    },
+                    st});
+}
+
+// Pops the next runnable event. Guarded timer events whose wait was
+// already claimed are discarded without advancing the clock.
+bool Simulation::PopNext(Event& out, SimTime limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.t > limit) return false;
+    if (top.guard && top.guard->fired()) {
+      queue_.pop();  // stale timer: discard silently
+      continue;
+    }
+    out = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::Run() {
+  std::uint64_t n = 0;
+  Event ev;
+  while (PopNext(ev, SimTime{std::numeric_limits<std::int64_t>::max()})) {
+    now_ = ev.t;
+    ev.fn();
+    ++n;
+  }
+  events_executed_ += n;
+  return n;
+}
+
+std::uint64_t Simulation::RunUntil(SimTime t) {
+  std::uint64_t n = 0;
+  Event ev;
+  while (PopNext(ev, t)) {
+    now_ = ev.t;
+    ev.fn();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  events_executed_ += n;
+  return n;
+}
+
+void Simulation::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Unwind every process so no coroutine frame outlives the simulation.
+  for (auto& p : processes_) p->Kill();
+  // Kill schedules resume-with-kill events at the current time; pump the
+  // queue until nothing remains at `now_`. Unwinding may cascade (lock
+  // releases resuming other fibers), all at the same timestamp.
+  Event ev;
+  while (PopNext(ev, now_)) ev.fn();
+  // Drop any future events; their closures may hold shared state but
+  // never run, which is safe.
+  while (!queue_.empty()) queue_.pop();
+  processes_.clear();
+}
+
+}  // namespace ods::sim

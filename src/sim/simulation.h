@@ -1,0 +1,143 @@
+// The discrete-event simulation engine. Single-threaded, deterministic:
+// events with equal timestamps fire in scheduling (FIFO) order. One
+// Simulation instance models one run of the whole cluster; parameter
+// sweeps run many Simulations concurrently on host threads (they share
+// nothing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/time.h"
+#include "sim/wait_state.h"
+
+namespace ods::sim {
+
+class Process;
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime Now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  // Schedules `fn` at absolute time `t` (>= Now()).
+  void Schedule(SimTime t, std::function<void()> fn);
+  // Schedules `fn` after `d`.
+  void After(SimDuration d, std::function<void()> fn);
+  // Schedules `fn` at the current time, after already-pending events at
+  // this timestamp. This is how cross-process resumptions are serialized.
+  void ScheduleNow(std::function<void()> fn);
+
+  // Schedules a timer that claims `st` with `why` and resumes it. The
+  // event is guarded: if the wait was already claimed by another source
+  // (fulfilment, kill), the expired timer is discarded WITHOUT advancing
+  // the simulation clock — so abandoned timeouts never stretch a run.
+  void ScheduleTimer(SimTime t, std::shared_ptr<WaitState> st,
+                     WaitState::Why why);
+  void TimerAfter(SimDuration d, std::shared_ptr<WaitState> st,
+                  WaitState::Why why) {
+    ScheduleTimer(Now() + d, std::move(st), why);
+  }
+
+  // Runs until the event queue drains. Returns the number of events run.
+  std::uint64_t Run();
+  // Runs events with timestamp <= t; leaves later events queued. The
+  // clock advances to t even if the queue drains earlier.
+  std::uint64_t RunUntil(SimTime t);
+  std::uint64_t RunFor(SimDuration d) { return RunUntil(Now() + d); }
+
+  // Constructs a process owned by this simulation and starts it.
+  // P must derive from Process and take (Simulation&, Args...).
+  template <typename P, typename... Args>
+  P& Spawn(Args&&... args);
+
+  // Constructs without starting — for components that must be wired
+  // together (e.g. process-pair peers) before their Main() runs. The
+  // caller invokes Start() explicitly.
+  template <typename P, typename... Args>
+  P& SpawnStopped(Args&&... args);
+
+  // Like Spawn/SpawnStopped but forwards the argument list verbatim
+  // (no implicit leading Simulation&) — for processes whose constructors
+  // take a richer context such as a Cluster&.
+  template <typename P, typename... Args>
+  P& Adopt(Args&&... args) {
+    P& ref = AdoptStopped<P>(std::forward<Args>(args)...);
+    ref.Start();
+    return ref;
+  }
+  template <typename P, typename... Args>
+  P& AdoptStopped(Args&&... args);
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  // Kills every process and pumps same-time events so all coroutine
+  // frames unwind; called automatically from the destructor so no frames
+  // leak even if the run was abandoned midway.
+  void Shutdown();
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    // Non-null for guarded timer events; see ScheduleTimer.
+    std::shared_ptr<WaitState> guard;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  bool PopNext(Event& out, SimTime limit);
+
+  SimTime now_{0};
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  bool shut_down_ = false;
+};
+
+}  // namespace ods::sim
+
+#include "sim/process.h"  // IWYU pragma: keep (Spawn needs complete Process)
+
+namespace ods::sim {
+
+template <typename P, typename... Args>
+P& Simulation::AdoptStopped(Args&&... args) {
+  auto proc = std::make_unique<P>(std::forward<Args>(args)...);
+  P& ref = *proc;
+  processes_.push_back(std::move(proc));
+  return ref;
+}
+
+template <typename P, typename... Args>
+P& Simulation::SpawnStopped(Args&&... args) {
+  return AdoptStopped<P>(*this, std::forward<Args>(args)...);
+}
+
+template <typename P, typename... Args>
+P& Simulation::Spawn(Args&&... args) {
+  P& ref = SpawnStopped<P>(std::forward<Args>(args)...);
+  ref.Start();
+  return ref;
+}
+
+}  // namespace ods::sim

@@ -1,0 +1,411 @@
+// Coroutine synchronization primitives for simulated processes:
+//   Promise/Future  — one-shot value handoff (RPC completions, I/O done)
+//   Channel<T>      — unbounded FIFO with awaitable receive (mailboxes)
+//   SimMutex        — FIFO mutex with RAII guard (CPU/resource modelling)
+//   Latch           — count-down completion barrier
+//
+// All primitives are kill-aware: a killed process's pending wait is
+// claimed by the kill path and the awaiter rethrows ProcessKilled, so
+// fibers unwind instead of hanging. Every wait is a one-shot WaitState —
+// late timers/sends against an already-resolved wait are no-ops.
+#pragma once
+
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/process.h"
+#include "sim/simulation.h"
+
+namespace ods::sim {
+
+namespace detail {
+
+inline void ResumeLater(Simulation& sim,
+                        const std::shared_ptr<WaitState>& st) {
+  sim.ScheduleNow([st] { st->handle.resume(); });
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Promise / Future
+
+template <typename T>
+class Future;
+
+template <typename T>
+struct FutureState {
+  std::optional<T> value;
+  std::shared_ptr<WaitState> waiter;
+};
+
+// Single-producer, single-consumer one-shot. The Promise side may outlive
+// or predecease the Future side; state is shared.
+template <typename T>
+class Promise {
+ public:
+  explicit Promise(Simulation& sim)
+      : sim_(&sim), state_(std::make_shared<FutureState<T>>()) {}
+
+  void Set(T value) {
+    assert(!state_->value.has_value() && "promise already resolved");
+    state_->value = std::move(value);
+    if (state_->waiter &&
+        state_->waiter->TryFire(WaitState::Why::kFulfilled)) {
+      detail::ResumeLater(*sim_, state_->waiter);
+    }
+  }
+
+  [[nodiscard]] bool resolved() const noexcept {
+    return state_->value.has_value();
+  }
+
+  [[nodiscard]] Future<T> GetFuture() noexcept { return Future<T>(state_); }
+
+ private:
+  Simulation* sim_;
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  [[nodiscard]] bool ready() const noexcept {
+    return state_ && state_->value.has_value();
+  }
+
+  // co_await fut.Wait(proc) -> T. Blocks the fiber until resolved.
+  [[nodiscard]] auto Wait(Process& proc) noexcept {
+    struct Awaiter {
+      Process& proc;
+      std::shared_ptr<FutureState<T>> fs;
+      std::shared_ptr<WaitState> ws;
+
+      bool await_ready() {
+        if (!proc.alive()) throw ProcessKilled{};
+        return fs->value.has_value();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ws = std::make_shared<WaitState>();
+        ws->handle = h;
+        fs->waiter = ws;
+        proc.RegisterWait(ws);
+      }
+      T await_resume() {
+        if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
+        if (!proc.alive()) throw ProcessKilled{};
+        assert(fs->value.has_value());
+        return std::move(*fs->value);
+      }
+    };
+    return Awaiter{proc, state_, nullptr};
+  }
+
+  // co_await fut.WaitFor(proc, d) -> std::optional<T>; nullopt on timeout.
+  [[nodiscard]] auto WaitFor(Process& proc, SimDuration timeout) noexcept {
+    struct Awaiter {
+      Process& proc;
+      std::shared_ptr<FutureState<T>> fs;
+      SimDuration timeout;
+      std::shared_ptr<WaitState> ws;
+
+      bool await_ready() {
+        if (!proc.alive()) throw ProcessKilled{};
+        return fs->value.has_value();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ws = std::make_shared<WaitState>();
+        ws->handle = h;
+        fs->waiter = ws;
+        proc.RegisterWait(ws);
+        proc.sim().TimerAfter(timeout, ws, WaitState::Why::kTimeout);
+      }
+      std::optional<T> await_resume() {
+        if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
+        if (!proc.alive()) throw ProcessKilled{};
+        if (ws && ws->why == WaitState::Why::kTimeout) return std::nullopt;
+        assert(fs->value.has_value());
+        return std::move(*fs->value);
+      }
+    };
+    return Awaiter{proc, state_, timeout, nullptr};
+  }
+
+ private:
+  template <typename>
+  friend class Promise;
+  explicit Future(std::shared_ptr<FutureState<T>> s) noexcept
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<FutureState<T>> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Channel
+
+// Unbounded MPMC FIFO. Senders never block; receivers await. Used as the
+// mailbox underlying NSK message IPC.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation& sim) noexcept : sim_(&sim) {}
+
+  void Send(T item) {
+    while (!recvers_.empty()) {
+      auto r = std::move(recvers_.front());
+      recvers_.pop_front();
+      if (r->ws->TryFire(WaitState::Why::kFulfilled)) {
+        r->item = std::move(item);
+        detail::ResumeLater(*sim_, r->ws);
+        return;
+      }
+      // else: that receiver was killed or timed out; try the next.
+    }
+    items_.push_back(std::move(item));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+  // co_await ch.Receive(proc) -> T
+  [[nodiscard]] auto Receive(Process& proc) noexcept {
+    struct Awaiter {
+      Channel& ch;
+      Process& proc;
+      std::optional<T> immediate;
+      std::shared_ptr<RecvState> rs;
+
+      bool await_ready() {
+        if (!proc.alive()) throw ProcessKilled{};
+        if (!ch.items_.empty()) {
+          immediate = std::move(ch.items_.front());
+          ch.items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        rs = std::make_shared<RecvState>();
+        rs->ws = std::make_shared<WaitState>();
+        rs->ws->handle = h;
+        ch.recvers_.push_back(rs);
+        proc.RegisterWait(rs->ws);
+      }
+      T await_resume() {
+        if (rs && rs->ws->why == WaitState::Why::kKilled) {
+          throw ProcessKilled{};
+        }
+        if (!proc.alive()) throw ProcessKilled{};
+        if (immediate.has_value()) return std::move(*immediate);
+        assert(rs && rs->item.has_value());
+        return std::move(*rs->item);
+      }
+    };
+    return Awaiter{*this, proc, std::nullopt, nullptr};
+  }
+
+  // co_await ch.ReceiveFor(proc, d) -> std::optional<T>; nullopt on timeout.
+  // Used for group-commit timers ("flush when a record arrives or after
+  // d elapses, whichever comes first").
+  [[nodiscard]] auto ReceiveFor(Process& proc, SimDuration timeout) noexcept {
+    struct Awaiter {
+      Channel& ch;
+      Process& proc;
+      SimDuration timeout;
+      std::optional<T> immediate;
+      std::shared_ptr<RecvState> rs;
+
+      bool await_ready() {
+        if (!proc.alive()) throw ProcessKilled{};
+        if (!ch.items_.empty()) {
+          immediate = std::move(ch.items_.front());
+          ch.items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        rs = std::make_shared<RecvState>();
+        rs->ws = std::make_shared<WaitState>();
+        rs->ws->handle = h;
+        ch.recvers_.push_back(rs);
+        proc.RegisterWait(rs->ws);
+        proc.sim().TimerAfter(timeout, rs->ws, WaitState::Why::kTimeout);
+      }
+      std::optional<T> await_resume() {
+        if (rs && rs->ws->why == WaitState::Why::kKilled) {
+          throw ProcessKilled{};
+        }
+        if (!proc.alive()) throw ProcessKilled{};
+        if (immediate.has_value()) return std::move(*immediate);
+        if (rs->ws->why == WaitState::Why::kTimeout) return std::nullopt;
+        assert(rs->item.has_value());
+        return std::move(*rs->item);
+      }
+    };
+    return Awaiter{*this, proc, timeout, std::nullopt, nullptr};
+  }
+
+ private:
+  struct RecvState {
+    std::shared_ptr<WaitState> ws;
+    std::optional<T> item;
+  };
+
+  Simulation* sim_;
+  std::deque<T> items_;
+  std::deque<std::shared_ptr<RecvState>> recvers_;
+};
+
+// ---------------------------------------------------------------------------
+// SimMutex
+
+// FIFO mutex. Models serially-shared resources (a CPU, a disk arm, a NIC
+// DMA engine). Lock ownership transfers directly to the next live waiter
+// on unlock.
+class SimMutex {
+ public:
+  explicit SimMutex(Simulation& sim) noexcept : sim_(&sim) {}
+
+  class Guard {
+   public:
+    Guard() noexcept = default;
+    explicit Guard(SimMutex* m) noexcept : mutex_(m) {}
+    Guard(Guard&& o) noexcept : mutex_(std::exchange(o.mutex_, nullptr)) {}
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        mutex_ = std::exchange(o.mutex_, nullptr);
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    void Release() noexcept {
+      if (mutex_ != nullptr) {
+        mutex_->Unlock();
+        mutex_ = nullptr;
+      }
+    }
+
+   private:
+    SimMutex* mutex_ = nullptr;
+  };
+
+  // co_await m.Acquire(proc) -> Guard
+  [[nodiscard]] auto Acquire(Process& proc) noexcept {
+    struct Awaiter {
+      SimMutex& m;
+      Process& proc;
+      std::shared_ptr<WaitState> ws;
+
+      bool await_ready() {
+        if (!proc.alive()) throw ProcessKilled{};
+        if (!m.held_) {
+          m.held_ = true;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ws = std::make_shared<WaitState>();
+        ws->handle = h;
+        m.waiters_.push_back(ws);
+        proc.RegisterWait(ws);
+      }
+      Guard await_resume() {
+        if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
+        if (!proc.alive()) {
+          if (ws) m.Unlock();  // ownership was handed to us; give it back
+          throw ProcessKilled{};
+        }
+        return Guard(&m);
+      }
+    };
+    return Awaiter{*this, proc, nullptr};
+  }
+
+  [[nodiscard]] bool held() const noexcept { return held_; }
+
+ private:
+  friend class Guard;
+
+  void Unlock() noexcept {
+    while (!waiters_.empty()) {
+      auto ws = std::move(waiters_.front());
+      waiters_.pop_front();
+      if (ws->TryFire(WaitState::Why::kFulfilled)) {
+        // Ownership transfers; held_ stays true.
+        detail::ResumeLater(*sim_, ws);
+        return;
+      }
+    }
+    held_ = false;
+  }
+
+  Simulation* sim_;
+  bool held_ = false;
+  std::deque<std::shared_ptr<WaitState>> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Latch
+
+// Count-down barrier: Wait() resumes once the count reaches zero. Used by
+// benchmark harnesses to join driver processes.
+class Latch {
+ public:
+  Latch(Simulation& sim, int count) noexcept : sim_(&sim), count_(count) {}
+
+  void Arrive() {
+    assert(count_ > 0);
+    if (--count_ == 0) {
+      for (auto& ws : waiters_) {
+        if (ws->TryFire(WaitState::Why::kFulfilled)) {
+          detail::ResumeLater(*sim_, ws);
+        }
+      }
+      waiters_.clear();
+    }
+  }
+
+  [[nodiscard]] int count() const noexcept { return count_; }
+
+  [[nodiscard]] auto Wait(Process& proc) noexcept {
+    struct Awaiter {
+      Latch& latch;
+      Process& proc;
+      std::shared_ptr<WaitState> ws;
+
+      bool await_ready() {
+        if (!proc.alive()) throw ProcessKilled{};
+        return latch.count_ == 0;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ws = std::make_shared<WaitState>();
+        ws->handle = h;
+        latch.waiters_.push_back(ws);
+        proc.RegisterWait(ws);
+      }
+      void await_resume() const {
+        if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
+        if (!proc.alive()) throw ProcessKilled{};
+      }
+    };
+    return Awaiter{*this, proc, nullptr};
+  }
+
+ private:
+  Simulation* sim_;
+  int count_;
+  std::vector<std::shared_ptr<WaitState>> waiters_;
+};
+
+}  // namespace ods::sim

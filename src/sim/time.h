@@ -1,0 +1,79 @@
+// Simulated time. The discrete-event simulation runs on a nanosecond
+// clock; SimTime and SimDuration are distinct strong types so absolute
+// times and intervals cannot be mixed up.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace ods::sim {
+
+struct SimDuration {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const noexcept {
+    return {ns + o.ns};
+  }
+  constexpr SimDuration operator-(SimDuration o) const noexcept {
+    return {ns - o.ns};
+  }
+  constexpr SimDuration operator*(std::int64_t k) const noexcept {
+    return {ns * k};
+  }
+  constexpr SimDuration operator/(std::int64_t k) const noexcept {
+    return {ns / k};
+  }
+  constexpr SimDuration& operator+=(SimDuration o) noexcept {
+    ns += o.ns;
+    return *this;
+  }
+};
+
+struct SimTime {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const noexcept {
+    return {ns + d.ns};
+  }
+  constexpr SimDuration operator-(SimTime o) const noexcept {
+    return {ns - o.ns};
+  }
+};
+
+constexpr SimDuration Nanoseconds(std::int64_t n) noexcept { return {n}; }
+constexpr SimDuration Microseconds(std::int64_t n) noexcept {
+  return {n * 1'000};
+}
+constexpr SimDuration Milliseconds(std::int64_t n) noexcept {
+  return {n * 1'000'000};
+}
+constexpr SimDuration Seconds(std::int64_t n) noexcept {
+  return {n * 1'000'000'000};
+}
+
+// Fractional constructors for latency models computed in double.
+constexpr SimDuration FromSecondsD(double s) noexcept {
+  return {static_cast<std::int64_t>(s * 1e9)};
+}
+constexpr SimDuration FromMicrosD(double us) noexcept {
+  return {static_cast<std::int64_t>(us * 1e3)};
+}
+
+constexpr double ToSecondsD(SimDuration d) noexcept {
+  return static_cast<double>(d.ns) / 1e9;
+}
+constexpr double ToMicrosD(SimDuration d) noexcept {
+  return static_cast<double>(d.ns) / 1e3;
+}
+constexpr double ToMillisD(SimDuration d) noexcept {
+  return static_cast<double>(d.ns) / 1e6;
+}
+constexpr double ToSecondsD(SimTime t) noexcept {
+  return static_cast<double>(t.ns) / 1e9;
+}
+
+}  // namespace ods::sim

@@ -1,0 +1,31 @@
+// One-shot wait records shared between awaiters, completion sources and
+// the process kill path. Split out of process.h so Simulation can offer
+// guarded timers without a circular include.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+
+namespace ods::sim {
+
+// Thrown at a killed fiber's suspension point. Intentionally not derived
+// from std::exception: only fiber roots are expected to catch it.
+struct ProcessKilled {};
+
+// Exactly one source (timer, fulfilment, kill) claims the right to resume
+// the waiting coroutine; the others become no-ops.
+struct WaitState {
+  enum class Why { kPending, kFulfilled, kTimeout, kKilled };
+
+  std::coroutine_handle<> handle;
+  Why why = Why::kPending;
+
+  bool TryFire(Why w) noexcept {
+    if (why != Why::kPending) return false;
+    why = w;
+    return true;
+  }
+  [[nodiscard]] bool fired() const noexcept { return why != Why::kPending; }
+};
+
+}  // namespace ods::sim

@@ -1,0 +1,241 @@
+#include "tp/adp.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/serialize.h"
+#include "tp/kinds.h"
+
+namespace ods::tp {
+
+using nsk::Request;
+using sim::Task;
+
+namespace {
+
+// Checkpoint delta framing: [kind u8][payload]
+constexpr std::uint8_t kCkptBuffer = 1;   // framed bytes appended to buffer
+constexpr std::uint8_t kCkptDurable = 2;  // durable tail advanced
+
+}  // namespace
+
+AdpProcess::AdpProcess(nsk::Cluster& cluster, int cpu_index,
+                       std::string service_name, std::string member_name,
+                       std::unique_ptr<LogDevice> device, AdpConfig config)
+    : PairMember(cluster, cpu_index, std::move(service_name),
+                 std::move(member_name)),
+      device_(std::move(device)), config_(config) {}
+
+Task<void> AdpProcess::OnBecomePrimary(bool via_takeover) {
+  const sim::SimTime t0 = sim().Now();
+  (void)co_await device_->Open(*this);
+  if (!state_valid_) {
+    // No surviving in-memory state (fresh start or post-power-loss
+    // restart): re-derive the durable tail and next LSN from the medium.
+    // This is where disk (full scan) and PM (direct read) diverge — the
+    // paper's MTTR claim.
+    auto log = co_await device_->RecoverLog(*this);
+    if (log.ok()) {
+      durable_tail_ = device_->tail();
+      LogScanner scanner(*log);
+      while (auto rec = scanner.Next()) {
+        next_lsn_ = std::max(next_lsn_, rec->lsn + 1);
+      }
+      if (config_.retain_log_image) log_image_ = std::move(*log);
+      state_valid_ = true;
+    } else {
+      ODS_WLOG("adp", "%s: log recovery failed: %s", name().c_str(),
+               log.status().ToString().c_str());
+    }
+  } else {
+    // Promoted with checkpointed state: install the tail on the device.
+    // Buffered-but-unflushed records stay pending; the next flush request
+    // (clients retry through the service name) makes them durable.
+    device_->set_tail(durable_tail_);
+  }
+  (void)via_takeover;
+  last_recovery_time_ = sim().Now() - t0;
+}
+
+Task<Status> AdpProcess::BufferRecords(std::span<const std::byte> payload) {
+  // Payload: sequence of length-prefixed serialized AuditRecords
+  // (lsn unassigned).
+  Deserializer d(payload);
+  std::vector<std::byte> framed;
+  std::uint32_t count = 0;
+  if (!d.GetU32(count)) {
+    co_return Status(ErrorCode::kInvalidArgument, "bad audit batch");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::vector<std::byte> rec_bytes;
+    if (!d.GetBlob(rec_bytes)) {
+      co_return Status(ErrorCode::kInvalidArgument, "bad audit batch");
+    }
+    auto rec = AuditRecord::Deserialize(rec_bytes);
+    if (!rec) co_return Status(ErrorCode::kInvalidArgument, "bad record");
+    rec->lsn = next_lsn_++;
+    FrameRecord(*rec, framed);
+    ++records_buffered_;
+  }
+  buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+  if (config_.retain_log_image) {
+    log_image_.insert(log_image_.end(), framed.begin(), framed.end());
+  }
+  // Externalization rule: the buffered delta reaches the backup before
+  // the sender is acknowledged.
+  Serializer ckpt;
+  ckpt.PutU8(kCkptBuffer);
+  ckpt.PutU64(next_lsn_);
+  ckpt.PutBlob(framed);
+  (void)co_await CheckpointToBackup(std::move(ckpt).Take());
+  co_return OkStatus();
+}
+
+void AdpProcess::EnsureFlusher() {
+  if (flusher_running_) return;
+  flusher_running_ = true;
+  SpawnFiber([](AdpProcess& self) -> Task<void> {
+    co_await self.FlushLoop();
+  }(*this));
+}
+
+Task<void> AdpProcess::FlushLoop() {
+  while (alive() && !flush_waiters_.empty()) {
+    // Group commit: take the whole buffer — every record buffered so
+    // far, including ones that arrived while the previous flush was in
+    // flight, rides this I/O.
+    std::vector<std::byte> batch = std::move(buffer_);
+    buffer_.clear();
+    const std::uint64_t target = durable_tail_ + batch.size();
+    Status st = OkStatus();
+    if (!batch.empty()) {
+      const std::size_t batch_size = batch.size();
+      st = co_await device_->Append(*this, std::move(batch));
+      if (st.ok()) {
+        durable_tail_ = target;
+        ++flushes_;
+        flushed_bytes_ += batch_size;
+        Serializer ckpt;
+        ckpt.PutU8(kCkptDurable);
+        ckpt.PutU64(durable_tail_);
+        (void)co_await CheckpointToBackup(std::move(ckpt).Take());
+      }
+    }
+    // Answer every waiter satisfied by (or failed with) this flush.
+    std::deque<FlushWaiter> still_waiting;
+    for (auto& w : flush_waiters_) {
+      if (!st.ok()) {
+        w.request.Respond(st);
+      } else if (w.target <= durable_tail_) {
+        flush_latency_.Record(
+            static_cast<std::uint64_t>((sim().Now() - w.enqueued).ns));
+        Serializer s;
+        s.PutU64(durable_tail_);
+        w.request.Respond(OkStatus(), std::move(s).Take());
+      } else {
+        still_waiting.push_back(std::move(w));
+      }
+    }
+    flush_waiters_ = std::move(still_waiting);
+  }
+  flusher_running_ = false;
+}
+
+Task<void> AdpProcess::HandleRequest(Request req) {
+  switch (req.kind) {
+    case kAdpBuffer: {
+      Status st = co_await BufferRecords(req.payload);
+      req.Respond(st);
+      break;
+    }
+    case kAdpFlush: {
+      // Optional piggybacked records (e.g. the commit record).
+      if (!req.payload.empty()) {
+        Status st = co_await BufferRecords(req.payload);
+        if (!st.ok()) {
+          req.Respond(st);
+          break;
+        }
+      }
+      FlushWaiter w{durable_tail_ + buffer_.size(), std::move(req),
+                    sim().Now()};
+      if (w.target == durable_tail_) {
+        // Nothing pending: already durable.
+        Serializer s;
+        s.PutU64(durable_tail_);
+        w.request.Respond(OkStatus(), std::move(s).Take());
+        break;
+      }
+      flush_waiters_.push_back(std::move(w));
+      EnsureFlusher();
+      break;
+    }
+    case kAdpReadLog: {
+      if (!config_.retain_log_image) {
+        req.Respond(Status(ErrorCode::kFailedPrecondition,
+                           "log image retention disabled"));
+        break;
+      }
+      req.Respond(OkStatus(), log_image_);
+      break;
+    }
+    default:
+      req.Respond(Status(ErrorCode::kInvalidArgument, "unknown ADP request"));
+  }
+}
+
+void AdpProcess::ApplyCheckpoint(std::span<const std::byte> delta) {
+  Deserializer d(delta);
+  std::uint8_t kind = 0;
+  if (!d.GetU8(kind)) return;
+  if (kind == kCkptBuffer) {
+    std::uint64_t lsn = 0;
+    std::vector<std::byte> framed;
+    if (!d.GetU64(lsn) || !d.GetBlob(framed)) return;
+    next_lsn_ = lsn;
+    buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+    if (config_.retain_log_image) {
+      log_image_.insert(log_image_.end(), framed.begin(), framed.end());
+    }
+    state_valid_ = true;
+  } else if (kind == kCkptDurable) {
+    std::uint64_t tail = 0;
+    if (!d.GetU64(tail)) return;
+    const std::uint64_t advanced = tail - durable_tail_;
+    durable_tail_ = tail;
+    // Drop the now-durable prefix from the pending buffer.
+    if (advanced >= buffer_.size()) {
+      buffer_.clear();
+    } else {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(advanced));
+    }
+    state_valid_ = true;
+  }
+}
+
+std::vector<std::byte> AdpProcess::SnapshotState() {
+  Serializer s;
+  s.PutU64(durable_tail_);
+  s.PutU64(next_lsn_);
+  s.PutBlob(buffer_);
+  s.PutBlob(log_image_);
+  return std::move(s).Take();
+}
+
+void AdpProcess::InstallState(std::span<const std::byte> snapshot) {
+  Deserializer d(snapshot);
+  std::uint64_t tail = 0, lsn = 0;
+  std::vector<std::byte> buffer, image;
+  if (!d.GetU64(tail) || !d.GetU64(lsn) || !d.GetBlob(buffer) ||
+      !d.GetBlob(image)) {
+    return;
+  }
+  durable_tail_ = tail;
+  next_lsn_ = lsn;
+  buffer_ = std::move(buffer);
+  if (config_.retain_log_image) log_image_ = std::move(image);
+  state_valid_ = true;
+}
+
+}  // namespace ods::tp

@@ -1,0 +1,115 @@
+// ADP — the audit data process (log writer), §1.2 and §4.2.
+//
+// Database writers send audit deltas here (kAdpBuffer); the transaction
+// monitor forces the trail to durable media at commit (kAdpFlush). The
+// ADP is a process pair: buffered audit is checkpointed to the backup
+// BEFORE it is acknowledged, so a primary failure loses no acknowledged
+// record (§1.3's externalization rule).
+//
+// The durable medium is pluggable (tp/log_device.h):
+//   * DiskLogDevice — the unmodified NSK ADP flushing to audit volumes;
+//   * PmLogDevice — the paper's "modified ADP [that] synchronously writes
+//     database log data to persistent memory", making "the database log
+//     persistent immediately" so "transactions can commit faster".
+//
+// Flushes use group commit: requests arriving while a flush is in flight
+// ride the next one. This is what keeps the multi-driver disk baseline
+// competitive at high boxcar degrees (E1's declining speedup).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "nsk/pair.h"
+#include "tp/audit.h"
+#include "tp/log_device.h"
+
+namespace ods::tp {
+
+struct AdpConfig {
+  // Keep an in-memory mirror of the durable log so DP2 recovery can read
+  // it without re-scanning the device (costs host memory ∝ log size;
+  // enable in recovery tests, off for long benchmarks).
+  bool retain_log_image = false;
+};
+
+class AdpProcess : public nsk::PairMember {
+ public:
+  AdpProcess(nsk::Cluster& cluster, int cpu_index, std::string service_name,
+             std::string member_name, std::unique_ptr<LogDevice> device,
+             AdpConfig config = {});
+
+  // ---- accounting ----
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+  [[nodiscard]] std::uint64_t flushed_bytes() const noexcept {
+    return flushed_bytes_;
+  }
+  [[nodiscard]] std::uint64_t records_buffered() const noexcept {
+    return records_buffered_;
+  }
+  [[nodiscard]] const LatencyHistogram& flush_latency() const noexcept {
+    return flush_latency_;
+  }
+  [[nodiscard]] sim::SimDuration last_recovery_time() const noexcept {
+    return last_recovery_time_;
+  }
+  [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
+  [[nodiscard]] LogDevice& device() noexcept { return *device_; }
+
+ protected:
+  sim::Task<void> HandleRequest(nsk::Request req) override;
+  void ApplyCheckpoint(std::span<const std::byte> delta) override;
+  std::vector<std::byte> SnapshotState() override;
+  void InstallState(std::span<const std::byte> snapshot) override;
+  sim::Task<void> OnBecomePrimary(bool via_takeover) override;
+
+  void OnRestart() override {
+    PairMember::OnRestart();
+    buffer_.clear();
+    log_image_.clear();
+    flush_waiters_.clear();
+    flusher_running_ = false;
+    durable_tail_ = 0;
+    next_lsn_ = 1;
+    state_valid_ = false;
+    device_->Reset();
+  }
+
+ private:
+  // Parses serialized records from `payload`, assigns LSNs, frames them
+  // into buffer_, checkpoints the delta, then calls done.
+  sim::Task<Status> BufferRecords(std::span<const std::byte> payload);
+
+  void EnsureFlusher();
+  sim::Task<void> FlushLoop();
+
+  std::unique_ptr<LogDevice> device_;
+  AdpConfig config_;
+
+  // Volatile primary state, checkpointed to the backup.
+  std::vector<std::byte> buffer_;     // framed records not yet durable
+  std::uint64_t durable_tail_ = 0;    // logical bytes durable on media
+  std::uint64_t next_lsn_ = 1;
+  bool state_valid_ = false;  // false until recovered or resynced
+
+  struct FlushWaiter {
+    std::uint64_t target;  // durable_tail_ must reach this
+    nsk::Request request;
+    sim::SimTime enqueued;
+  };
+  std::deque<FlushWaiter> flush_waiters_;
+  bool flusher_running_ = false;
+
+  std::vector<std::byte> log_image_;  // mirror (config_.retain_log_image)
+
+  std::uint64_t flushes_ = 0;
+  std::uint64_t flushed_bytes_ = 0;
+  std::uint64_t records_buffered_ = 0;
+  LatencyHistogram flush_latency_;
+  sim::SimDuration last_recovery_time_{0};
+};
+
+}  // namespace ods::tp

@@ -1,0 +1,65 @@
+#include "tp/audit.h"
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+
+namespace ods::tp {
+
+std::vector<std::byte> AuditRecord::Serialize() const {
+  Serializer s;
+  s.PutU64(lsn);
+  s.PutU64(txn);
+  s.PutEnum(type);
+  s.PutU32(file_id);
+  s.PutU64(key);
+  s.PutBlob(after_image);
+  s.PutBlob(before_image);
+  return std::move(s).Take();
+}
+
+std::optional<AuditRecord> AuditRecord::Deserialize(
+    std::span<const std::byte> bytes) {
+  Deserializer d(bytes);
+  AuditRecord r;
+  if (!d.GetU64(r.lsn) || !d.GetU64(r.txn) || !d.GetEnum(r.type) ||
+      !d.GetU32(r.file_id) || !d.GetU64(r.key) || !d.GetBlob(r.after_image) ||
+      !d.GetBlob(r.before_image)) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+std::size_t AuditRecord::WireSize() const noexcept {
+  // Header fields + two length-prefixed blobs + frame overhead.
+  return 8 + 8 + 4 + 4 + 8 + 4 + after_image.size() + 4 +
+         before_image.size() + 8;
+}
+
+void FrameRecord(const AuditRecord& rec, std::vector<std::byte>& out) {
+  const std::vector<std::byte> payload = rec.Serialize();
+  Serializer s(std::move(out));
+  s.PutU32(static_cast<std::uint32_t>(payload.size()));
+  s.PutBytes(payload);
+  s.PutU32(Crc32c(payload));
+  out = std::move(s).Take();
+}
+
+std::optional<AuditRecord> LogScanner::Next() {
+  if (pos_ + 8 > image_.size()) return std::nullopt;
+  Deserializer d(image_.subspan(pos_));
+  std::uint32_t len = 0;
+  if (!d.GetU32(len) || len == 0 || pos_ + 4 + len + 4 > image_.size()) {
+    return std::nullopt;
+  }
+  const auto payload = image_.subspan(pos_ + 4, len);
+  Deserializer tail(image_.subspan(pos_ + 4 + len, 4));
+  std::uint32_t stored = 0;
+  (void)tail.GetU32(stored);
+  if (Crc32c(payload) != stored) return std::nullopt;  // torn tail
+  auto rec = AuditRecord::Deserialize(payload);
+  if (!rec) return std::nullopt;
+  pos_ += 4 + len + 4;
+  return rec;
+}
+
+}  // namespace ods::tp

@@ -1,0 +1,65 @@
+// The database audit trail (§1.2): "It explicitly records the changes
+// made to the database by each transaction, and implicitly records the
+// serial order in which the transactions committed. Before a transaction
+// can commit, the relevant portion of the audit trail must be flushed to
+// durable media."
+//
+// Records are framed ([len][payload][crc]) so a recovery scan can walk a
+// raw log image and stop at the first torn/invalid frame.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ods::tp {
+
+enum class AuditType : std::uint32_t {
+  kUpdate = 1,   // redo/undo images for one record mutation
+  kCommit = 2,   // transaction committed
+  kAbort = 3,    // transaction aborted
+  kWatermark = 4 // data-volume flush watermark (bounds redo scan)
+};
+
+struct AuditRecord {
+  std::uint64_t lsn = 0;  // assigned by the log writer at append time
+  std::uint64_t txn = 0;
+  AuditType type = AuditType::kUpdate;
+  std::uint32_t file_id = 0;
+  std::uint64_t key = 0;
+  std::vector<std::byte> after_image;   // redo
+  std::vector<std::byte> before_image;  // undo (empty for inserts)
+
+  [[nodiscard]] std::vector<std::byte> Serialize() const;
+  static std::optional<AuditRecord> Deserialize(
+      std::span<const std::byte> bytes);
+
+  // Serialized size (for boxcar/flush sizing decisions).
+  [[nodiscard]] std::size_t WireSize() const noexcept;
+};
+
+// Appends a framed record to `out`.
+void FrameRecord(const AuditRecord& rec, std::vector<std::byte>& out);
+
+// Walks framed records in a raw log image. Iteration stops cleanly at
+// the first invalid frame (torn tail after a crash) or at `limit` bytes.
+class LogScanner {
+ public:
+  explicit LogScanner(std::span<const std::byte> image) noexcept
+      : image_(image) {}
+
+  // Returns the next valid record, or nullopt at end-of-log.
+  std::optional<AuditRecord> Next();
+
+  // Bytes consumed so far (the durable tail after a full scan).
+  [[nodiscard]] std::uint64_t offset() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::byte> image_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace ods::tp

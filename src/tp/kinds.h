@@ -1,0 +1,26 @@
+// Message kinds for the transaction-processing stack (0x300-0x3FF).
+#pragma once
+
+#include <cstdint>
+
+namespace ods::tp {
+
+// TMF (transaction monitor)
+inline constexpr std::uint32_t kTmfBegin = 0x300;
+inline constexpr std::uint32_t kTmfCommit = 0x301;
+inline constexpr std::uint32_t kTmfAbort = 0x302;
+inline constexpr std::uint32_t kTmfStatus = 0x303;
+
+// DP2 (database writer / disk process)
+inline constexpr std::uint32_t kDp2Insert = 0x310;
+inline constexpr std::uint32_t kDp2Read = 0x311;
+inline constexpr std::uint32_t kDp2Update = 0x312;
+inline constexpr std::uint32_t kDp2Resolve = 0x313;  // commit/abort fanout
+inline constexpr std::uint32_t kDp2Stats = 0x314;
+
+// ADP (audit data process / log writer)
+inline constexpr std::uint32_t kAdpBuffer = 0x320;   // buffer audit records
+inline constexpr std::uint32_t kAdpFlush = 0x321;    // make audit durable
+inline constexpr std::uint32_t kAdpReadLog = 0x322;  // recovery support
+
+}  // namespace ods::tp

@@ -1,0 +1,136 @@
+// Durable media behind the log writer (ADP). Two implementations:
+//
+//  * DiskLogDevice — the baseline: audit flushed to an audit disk volume.
+//    A synchronous append with intervening think time pays rotational
+//    latency on top of the storage-stack overhead (no write cache on a
+//    2004-era audit volume), i.e. milliseconds per commit.
+//
+//  * PmLogDevice — the paper's modified ADP (§4.2): audit written
+//    synchronously to a persistent-memory region. Two RDMA writes per
+//    append (data, then a small control block carrying the durable tail),
+//    i.e. tens of microseconds. The fine-grained control block is what
+//    eliminates "costly heuristic searching of audit trail information"
+//    at recovery (§3.4): recovery reads the tail pointer directly instead
+//    of scanning the log.
+//
+// Both devices are logically infinite ring buffers: physical offsets wrap
+// modulo capacity. Recovery (ReadLog) requires the retained suffix to fit
+// in capacity — true for all recovery tests; perf benchmarks may wrap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nsk/process.h"
+#include "pm/client.h"
+#include "storage/disk.h"
+
+namespace ods::tp {
+
+class LogDevice {
+ public:
+  virtual ~LogDevice() = default;
+
+  // Prepares the device for use by `host` (the primary ADP member).
+  virtual sim::Task<Status> Open(nsk::NskProcess& host) = 0;
+
+  // Durably appends `bytes` at the logical tail; returns once durable.
+  virtual sim::Task<Status> Append(nsk::NskProcess& host,
+                                   std::vector<std::byte> bytes) = 0;
+
+  // Recovery with no surviving in-memory state: locate the durable tail
+  // and return the retained log image (in log order). The time this takes
+  // — scan vs direct read — is the MTTR experiment.
+  virtual sim::Task<Result<std::vector<std::byte>>> RecoverLog(
+      nsk::NskProcess& host) = 0;
+
+  [[nodiscard]] virtual std::uint64_t tail() const noexcept = 0;
+  // Installs the tail on a promoted backup (checkpointed state).
+  virtual void set_tail(std::uint64_t tail) noexcept = 0;
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+  // Drops volatile handle state (host process restart). Durable contents
+  // are untouched; Open()/RecoverLog() re-derive the rest.
+  virtual void Reset() noexcept = 0;
+};
+
+struct DiskLogConfig {
+  // Average rotational wait for a synchronous append on a volume with no
+  // write cache (10k RPM class: half a rotation).
+  sim::SimDuration sync_rotational_wait = sim::Milliseconds(3);
+};
+
+class DiskLogDevice final : public LogDevice {
+ public:
+  DiskLogDevice(storage::DiskVolume& volume, DiskLogConfig config = {})
+      : volume_(volume), config_(config) {}
+
+  sim::Task<Status> Open(nsk::NskProcess& host) override;
+  sim::Task<Status> Append(nsk::NskProcess& host,
+                           std::vector<std::byte> bytes) override;
+  sim::Task<Result<std::vector<std::byte>>> RecoverLog(
+      nsk::NskProcess& host) override;
+
+  [[nodiscard]] std::uint64_t tail() const noexcept override { return tail_; }
+  void set_tail(std::uint64_t tail) noexcept override { tail_ = tail; }
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "disk";
+  }
+  void Reset() noexcept override { tail_ = 0; }
+
+ private:
+  storage::DiskVolume& volume_;
+  DiskLogConfig config_;
+  std::uint64_t tail_ = 0;  // logical (monotonic)
+};
+
+struct PmLogConfig {
+  std::string pmm_service = "$PMM";
+  std::string region_name;          // unique per ADP, e.g. "audit-$ADP0"
+  std::uint64_t region_bytes = 48ull << 20;
+};
+
+class PmLogDevice final : public LogDevice {
+ public:
+  explicit PmLogDevice(PmLogConfig config) : config_(std::move(config)) {}
+
+  sim::Task<Status> Open(nsk::NskProcess& host) override;
+  sim::Task<Status> Append(nsk::NskProcess& host,
+                           std::vector<std::byte> bytes) override;
+  sim::Task<Result<std::vector<std::byte>>> RecoverLog(
+      nsk::NskProcess& host) override;
+
+  [[nodiscard]] std::uint64_t tail() const noexcept override { return tail_; }
+  void set_tail(std::uint64_t tail) noexcept override { tail_ = tail; }
+  [[nodiscard]] std::string_view kind() const noexcept override { return "pm"; }
+  void Reset() noexcept override {
+    region_.reset();
+    tail_ = 0;
+  }
+
+ private:
+  // Region layout: [control block (64B) | log data ring].
+  static constexpr std::uint64_t kDataBase = 64;
+
+  [[nodiscard]] std::vector<std::byte> EncodeControlBlock() const;
+
+  PmLogConfig config_;
+  std::optional<pm::PmRegion> region_;
+  std::uint64_t tail_ = 0;
+};
+
+// Factory used by ADP configuration.
+enum class LogMedium { kDisk, kPm };
+
+// Length of the valid frame prefix of a raw framed-log image.
+[[nodiscard]] std::uint64_t ValidFramePrefix(std::span<const std::byte> image);
+
+// Sequentially scans a volume holding framed records (timed disk reads)
+// and returns the valid prefix — shared by the disk log writer and DP2
+// data-volume recovery.
+sim::Task<Result<std::vector<std::byte>>> ScanFramedVolume(
+    nsk::NskProcess& host, storage::DiskVolume& volume);
+
+}  // namespace ods::tp

@@ -1,0 +1,129 @@
+#include "workload/hot_stock.h"
+
+#include "common/log.h"
+
+namespace ods::workload {
+
+using sim::Task;
+
+double HotStockResult::MeanResponseUs() const {
+  double total = 0;
+  std::uint64_t n = 0;
+  for (const auto& d : drivers) {
+    total += d.txn_response.mean() * static_cast<double>(d.txn_response.count());
+    n += d.txn_response.count();
+  }
+  return n == 0 ? 0 : total / static_cast<double>(n) / 1e3;
+}
+
+std::uint64_t HotStockResult::TotalCommitted() const {
+  std::uint64_t n = 0;
+  for (const auto& d : drivers) n += d.committed_txns;
+  return n;
+}
+
+HotStockDriver::HotStockDriver(nsk::Cluster& cluster, int cpu_index,
+                               int driver_index, const db::Catalog& catalog,
+                               HotStockConfig config, sim::Latch& done,
+                               DriverStats& stats)
+    : NskProcess(cluster, cpu_index,
+                 "driver" + std::to_string(driver_index)),
+      driver_index_(driver_index), catalog_(&catalog),
+      config_(std::move(config)), done_(&done), stats_(&stats) {}
+
+Task<void> HotStockDriver::Main() {
+  db::TxnClient client(*this, *catalog_);
+  // Keys are unique per driver (each driver is its own hot stock; the
+  // contention the benchmark models is the *ordering* constraint, not
+  // lock conflicts).
+  std::uint64_t next_key = (static_cast<std::uint64_t>(driver_index_) << 40) + 1;
+  std::uint64_t remaining =
+      static_cast<std::uint64_t>(config_.records_per_driver);
+  int consecutive_failures = 0;
+
+  while (remaining > 0) {
+    if (consecutive_failures > 20) {
+      ODS_ELOG("hotstock", "driver %d giving up after repeated failures",
+               driver_index_);
+      break;
+    }
+    const int batch = static_cast<int>(std::min<std::uint64_t>(
+        remaining, static_cast<std::uint64_t>(config_.inserts_per_txn)));
+    const sim::SimTime t0 = sim().Now();
+
+    auto txn = co_await client.Begin();
+    if (!txn.ok()) {
+      ++stats_->aborted_txns;
+      ++consecutive_failures;
+      continue;
+    }
+    // Produce the trades (driver CPU), then fan the inserts out
+    // asynchronously across the files.
+    co_await Compute(config_.per_record_cpu * batch);
+    std::vector<db::TxnClient::InsertOp> ops;
+    ops.reserve(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i) {
+      db::TxnClient::InsertOp op;
+      op.file = static_cast<std::uint32_t>(i % catalog_->num_files());
+      op.key = next_key++;
+      op.value.assign(config_.record_bytes,
+                      static_cast<std::byte>(driver_index_ + 1));
+      ops.push_back(std::move(op));
+    }
+    Status st = co_await client.InsertMany(*txn, std::move(ops));
+    if (!st.ok()) {
+      (void)co_await client.Abort(*txn);
+      ++stats_->aborted_txns;
+      ++consecutive_failures;
+      continue;
+    }
+    st = co_await client.Commit(*txn);
+    if (!st.ok()) {
+      ++stats_->aborted_txns;
+      ++consecutive_failures;
+      continue;
+    }
+    consecutive_failures = 0;
+    // Committed: the regulatory constraint is satisfied; the next
+    // iteration may begin.
+    ++stats_->committed_txns;
+    stats_->records_inserted += static_cast<std::uint64_t>(batch);
+    remaining -= static_cast<std::uint64_t>(batch);
+    stats_->txn_response.Record(
+        static_cast<std::uint64_t>((sim().Now() - t0).ns));
+  }
+  stats_->finished = sim().Now();
+  done_->Arrive();
+}
+
+HotStockResult RunHotStock(Rig& rig, const HotStockConfig& config) {
+  HotStockResult result;
+  result.drivers.resize(static_cast<std::size_t>(config.drivers));
+  sim::Simulation& sim = rig.sim();
+  sim::Latch done(sim, config.drivers);
+
+  const sim::SimTime start = sim.Now();
+  for (int d = 0; d < config.drivers; ++d) {
+    result.drivers[static_cast<std::size_t>(d)].driver = d;
+    // Paper: one driver per CPU (4 drivers on the 4-processor S86000).
+    const int cpu = d % rig.config().num_cpus;
+    sim.Adopt<HotStockDriver>(rig.cluster(), cpu, d, rig.catalog(), config,
+                              done, result.drivers[static_cast<std::size_t>(d)]);
+  }
+  // Run until every driver has finished.
+  while (done.count() > 0) {
+    if (sim.RunFor(sim::Seconds(60)) == 0 && done.count() > 0) {
+      ODS_ELOG("hotstock", "benchmark stalled with %d drivers pending",
+               done.count());
+      break;
+    }
+  }
+  sim::SimTime finish = start;
+  for (const auto& d : result.drivers) {
+    finish = std::max(finish, d.finished);
+  }
+  result.elapsed_seconds = sim::ToSecondsD(finish - start);
+  return result;
+}
+
+}  // namespace ods::workload

@@ -1,0 +1,84 @@
+// The hot-stock benchmark (§4.3, after Denzinger [7]).
+//
+// "This test consists of up to 4 driver processes. Each driver represents
+// a single hotly-traded stock. The drivers each insert 32000 4K records.
+// The database consists of 4 files, each distributed across 4 disk
+// volumes. During each transaction each driver performs a number of
+// asynchronous inserts into each file. The transactions are committed
+// between subsequent iterations to simulate the regulatory ordering
+// constraints."
+//
+// The regulatory constraint makes the workload response-time critical
+// (§2): driver throughput is inversely proportional to transaction
+// response time, and boxcarring more trades per transaction is the only
+// lever — until PM removes the need for it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "db/txn_client.h"
+#include "nsk/process.h"
+#include "sim/sync.h"
+#include "workload/rig.h"
+
+namespace ods::workload {
+
+struct HotStockConfig {
+  int drivers = 1;
+  int inserts_per_txn = 8;  // boxcar degree: 8/16/32 -> 32K/64K/128K txns
+  int records_per_driver = 4000;  // paper: 32000 (scaled; see EXPERIMENTS.md)
+  std::size_t record_bytes = 4096;
+  // Driver-side work to produce one record (matching/bookkeeping).
+  sim::SimDuration per_record_cpu = sim::Microseconds(15);
+};
+
+struct DriverStats {
+  int driver = 0;
+  std::uint64_t committed_txns = 0;
+  std::uint64_t aborted_txns = 0;
+  std::uint64_t records_inserted = 0;
+  LatencyHistogram txn_response;  // full begin..commit response time
+  sim::SimTime finished{0};
+};
+
+struct HotStockResult {
+  std::vector<DriverStats> drivers;
+  double elapsed_seconds = 0;  // wall (simulated) time for all drivers
+  [[nodiscard]] double MeanResponseUs() const;
+  [[nodiscard]] std::uint64_t TotalCommitted() const;
+  [[nodiscard]] double Throughput() const {  // records per second
+    std::uint64_t recs = 0;
+    for (const auto& d : drivers) recs += d.records_inserted;
+    return elapsed_seconds > 0 ? static_cast<double>(recs) / elapsed_seconds
+                               : 0;
+  }
+};
+
+// One driver process: serialized transactions of `inserts_per_txn`
+// records spread round-robin over the files, inserts fanned out
+// asynchronously, commit awaited before the next iteration.
+class HotStockDriver : public nsk::NskProcess {
+ public:
+  HotStockDriver(nsk::Cluster& cluster, int cpu_index, int driver_index,
+                 const db::Catalog& catalog, HotStockConfig config,
+                 sim::Latch& done, DriverStats& stats);
+
+ protected:
+  sim::Task<void> Main() override;
+
+ private:
+  int driver_index_;
+  const db::Catalog* catalog_;
+  HotStockConfig config_;
+  sim::Latch* done_;
+  DriverStats* stats_;
+};
+
+// Builds drivers on the rig, runs to completion, returns per-driver and
+// aggregate results. The rig must already be running (spawned).
+HotStockResult RunHotStock(Rig& rig, const HotStockConfig& config);
+
+}  // namespace ods::workload

@@ -1,0 +1,254 @@
+#include "workload/rig.h"
+
+#include <cassert>
+
+namespace ods::workload {
+
+using db::Catalog;
+
+Rig::Rig(sim::Simulation& sim, RigConfig config)
+    : sim_(sim), config_(config),
+      catalog_(config.num_files, config.partitions_per_file) {
+  if (config_.log_medium == tp::LogMedium::kPm &&
+      config_.pm_device == PmDeviceKind::kNone) {
+    config_.pm_device = PmDeviceKind::kNpmuPair;
+  }
+  nsk::ClusterConfig cluster_cfg = config_.cluster;
+  cluster_cfg.num_cpus =
+      config_.num_cpus + (config_.pm_device == PmDeviceKind::kPmp ? 1 : 0);
+  cluster_ = std::make_unique<nsk::Cluster>(sim_, cluster_cfg);
+
+  BuildDisks();
+  BuildPm();
+  BuildAdps();
+  BuildTmf();
+  BuildDp2s();
+}
+
+Rig::~Rig() {
+  // Unwind every process while the devices and cluster are still alive.
+  sim_.Shutdown();
+}
+
+template <typename P, typename... Args>
+std::pair<P*, P*> Rig::SpawnPair(const std::string& service, int primary_cpu,
+                                 int backup_cpu, Args&&... args) {
+  P& primary = sim_.AdoptStopped<P>(*cluster_, primary_cpu, service,
+                                    service + "-P", args...);
+  P* backup = nullptr;
+  if (config_.with_backups) {
+    backup = &sim_.AdoptStopped<P>(*cluster_, backup_cpu, service,
+                                   service + "-B", args...);
+    primary.SetPeer(backup);
+    backup->SetPeer(&primary);
+  }
+  primary.Start();
+  if (backup != nullptr) backup->Start();
+  return {&primary, backup};
+}
+
+void Rig::BuildDisks() {
+  const int n_parts = config_.num_files * config_.partitions_per_file;
+  data_volumes_.reserve(static_cast<std::size_t>(n_parts));
+  for (int i = 0; i < n_parts; ++i) {
+    data_volumes_.push_back(std::make_unique<storage::DiskVolume>(
+        sim_, "data" + std::to_string(i), config_.data_disk));
+  }
+  if (config_.log_medium == tp::LogMedium::kDisk) {
+    audit_volumes_.reserve(static_cast<std::size_t>(config_.num_adps));
+    for (int i = 0; i < config_.num_adps; ++i) {
+      audit_volumes_.push_back(std::make_unique<storage::DiskVolume>(
+          sim_, "audit" + std::to_string(i), config_.audit_disk));
+    }
+  }
+}
+
+void Rig::BuildPm() {
+  if (config_.pm_device == PmDeviceKind::kNone) return;
+  // Size the device to hold every ADP's log region plus the TMF TCB
+  // region with headroom (region alignment + metadata).
+  const std::uint64_t needed =
+      static_cast<std::uint64_t>(config_.num_adps) *
+          (config_.pm_log_region_bytes + 4096) +
+      (8ull << 20);
+  config_.npmu.capacity_bytes = std::max(config_.npmu.capacity_bytes, needed);
+  std::optional<pm::PmDevice> primary_dev;
+  std::optional<pm::PmDevice> mirror_dev;
+  if (config_.pm_device == PmDeviceKind::kNpmuPair) {
+    npmu_a_ = std::make_unique<pm::Npmu>(cluster_->fabric(), "npmu-a",
+                                         config_.npmu);
+    npmu_b_ = std::make_unique<pm::Npmu>(cluster_->fabric(), "npmu-b",
+                                         config_.npmu);
+    primary_dev = pm::PmDevice(*npmu_a_);
+    mirror_dev = pm::PmDevice(*npmu_b_);
+  } else {
+    // The paper's prototype: a single PMP on its own CPU, one region per
+    // ADP, no mirroring.
+    pmp_ = &sim_.AdoptStopped<pm::Pmp>(*cluster_, config_.num_cpus, "$PMP",
+                                       config_.npmu);
+    pmp_->Start();
+    primary_dev = pm::PmDevice(*pmp_);
+    mirror_dev = pm::PmDevice(*pmp_);
+  }
+  auto [p, b] = SpawnPair<pm::PmManager>("$PMM", 0, 1, *primary_dev,
+                                         *mirror_dev, "$PM1");
+  pmm_primary_ = p;
+  pmm_backup_ = b;
+}
+
+void Rig::BuildAdps() {
+  tp::AdpConfig adp_cfg;
+  adp_cfg.retain_log_image = config_.retain_log_image;
+  for (int i = 0; i < config_.num_adps; ++i) {
+    const std::string service = Catalog::AdpName(i);
+    const int cpu = i % config_.num_cpus;
+    const int backup_cpu = (cpu + 1) % config_.num_cpus;
+    auto make_device = [&]() -> std::unique_ptr<tp::LogDevice> {
+      if (config_.log_medium == tp::LogMedium::kDisk) {
+        return std::make_unique<tp::DiskLogDevice>(
+            *audit_volumes_[static_cast<std::size_t>(i)], config_.disk_log);
+      }
+      tp::PmLogConfig pm_cfg;
+      pm_cfg.pmm_service = "$PMM";
+      pm_cfg.region_name = "audit-" + service;
+      pm_cfg.region_bytes = config_.pm_log_region_bytes;
+      return std::make_unique<tp::PmLogDevice>(pm_cfg);
+    };
+    tp::AdpProcess& primary = sim_.AdoptStopped<tp::AdpProcess>(
+        *cluster_, cpu, service, service + "-P", make_device(), adp_cfg);
+    tp::AdpProcess* backup = nullptr;
+    if (config_.with_backups) {
+      backup = &sim_.AdoptStopped<tp::AdpProcess>(*cluster_, backup_cpu,
+                                                  service, service + "-B",
+                                                  make_device(), adp_cfg);
+      primary.SetPeer(backup);
+      backup->SetPeer(&primary);
+    }
+    primary.Start();
+    if (backup != nullptr) backup->Start();
+    adp_primaries_.push_back(&primary);
+    adp_backups_.push_back(backup);
+  }
+}
+
+void Rig::BuildTmf() {
+  tp::TmfConfig tmf_cfg;
+  tmf_cfg.pm_tcb = config_.pm_tcb && config_.pm_device != PmDeviceKind::kNone;
+  tmf_cfg.master_adp = Catalog::AdpName(0);
+  auto [p, b] = SpawnPair<tp::TmfProcess>("$TMF", 0,
+                                          1 % config_.num_cpus, tmf_cfg);
+  tmf_primary_ = p;
+  tmf_backup_ = b;
+}
+
+void Rig::BuildDp2s() {
+  for (int f = 0; f < config_.num_files; ++f) {
+    for (int part = 0; part < config_.partitions_per_file; ++part) {
+      const int idx = f * config_.partitions_per_file + part;
+      const int cpu = idx % config_.num_cpus;
+      const std::string service = Catalog::Dp2Name(f, part);
+      const std::string adp = Catalog::AdpName(cpu % config_.num_adps);
+      tp::Dp2Config dp2_cfg;
+      dp2_cfg.adp_service = adp;
+      dp2_cfg.force_audit_each_write = config_.force_audit_per_insert;
+      dp2_cfg.data_volume = data_volumes_[static_cast<std::size_t>(idx)].get();
+      auto [p, b] = SpawnPair<tp::Dp2Process>(
+          service, cpu, (cpu + 1) % config_.num_cpus, dp2_cfg);
+      dp2_primaries_.push_back(p);
+      dp2_backups_.push_back(b);
+      catalog_.SetRoute(f, part, db::PartitionRoute{service, adp});
+    }
+  }
+}
+
+std::vector<storage::DiskVolume*> Rig::data_volumes() noexcept {
+  std::vector<storage::DiskVolume*> out;
+  out.reserve(data_volumes_.size());
+  for (auto& v : data_volumes_) out.push_back(v.get());
+  return out;
+}
+
+std::vector<storage::DiskVolume*> Rig::audit_volumes() noexcept {
+  std::vector<storage::DiskVolume*> out;
+  out.reserve(audit_volumes_.size());
+  for (auto& v : audit_volumes_) out.push_back(v.get());
+  return out;
+}
+
+void Rig::KillAdpPrimary(int index) {
+  adp_primaries_.at(static_cast<std::size_t>(index))->Kill();
+}
+
+void Rig::KillTmfPrimary() { tmf_primary_->Kill(); }
+
+void Rig::KillPmmPrimary() {
+  if (pmm_primary_ != nullptr) pmm_primary_->Kill();
+}
+
+void Rig::PowerLoss() {
+  auto kill = [](auto* p) {
+    if (p != nullptr && p->alive()) p->Kill();
+  };
+  for (auto* p : dp2_primaries_) kill(p);
+  for (auto* p : dp2_backups_) kill(p);
+  for (auto* p : adp_primaries_) kill(p);
+  for (auto* p : adp_backups_) kill(p);
+  kill(tmf_primary_);
+  kill(tmf_backup_);
+  kill(pmm_primary_);
+  kill(pmm_backup_);
+  kill(pmp_);
+  for (auto& v : data_volumes_) v->PowerFail();
+  for (auto& v : audit_volumes_) v->PowerFail();
+  if (npmu_a_) npmu_a_->PowerFail();
+  if (npmu_b_) npmu_b_->PowerFail();
+}
+
+void Rig::RestartAfterPowerLoss() {
+  auto restart = [](auto* p) {
+    if (p != nullptr && !p->alive()) p->Restart();
+  };
+  restart(pmp_);
+  restart(pmm_primary_);
+  restart(pmm_backup_);
+  for (auto* p : adp_primaries_) restart(p);
+  for (auto* p : adp_backups_) restart(p);
+  restart(tmf_primary_);
+  restart(tmf_backup_);
+  for (auto* p : dp2_primaries_) restart(p);
+  for (auto* p : dp2_backups_) restart(p);
+}
+
+Rig::PersistenceAccounting Rig::Account() const {
+  PersistenceAccounting acct;
+  for (const auto& v : data_volumes_) acct.disk_bytes_written += v->bytes_written();
+  for (const auto& v : audit_volumes_) {
+    acct.disk_bytes_written += v->bytes_written();
+  }
+  if (npmu_a_) acct.pm_bytes_written += npmu_a_->bytes_persisted();
+  if (npmu_b_) acct.pm_bytes_written += npmu_b_->bytes_persisted();
+  if (pmp_ != nullptr) acct.pm_bytes_written += pmp_->bytes_persisted();
+  auto add_pair = [&](const nsk::PairMember* m) {
+    if (m == nullptr) return;
+    acct.checkpoint_bytes += m->checkpoint_bytes();
+    acct.checkpoint_messages += m->checkpoints_sent();
+  };
+  for (auto* p : dp2_primaries_) add_pair(p);
+  for (auto* p : dp2_backups_) add_pair(p);
+  for (auto* p : adp_primaries_) add_pair(p);
+  for (auto* p : adp_backups_) add_pair(p);
+  add_pair(tmf_primary_);
+  add_pair(tmf_backup_);
+  add_pair(pmm_primary_);
+  add_pair(pmm_backup_);
+  auto add_adp = [&](const tp::AdpProcess* a) {
+    if (a == nullptr) return;
+    acct.audit_flushes += a->flushes();
+    acct.audit_bytes += a->flushed_bytes();
+  };
+  for (auto* a : adp_primaries_) add_adp(a);
+  for (auto* a : adp_backups_) add_adp(a);
+  return acct;
+}
+
+}  // namespace ods::workload

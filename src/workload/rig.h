@@ -1,0 +1,141 @@
+// The assembled system under test: a NonStop-style node running the full
+// transaction stack, matching §4.2-§4.3 of the paper:
+//
+//   * N application CPUs, each with an ADP (log writer) pair — "we used 4
+//     auxiliary audit volumes, one for each CPU",
+//   * a TMF pair,
+//   * DP2 pairs for `num_files x partitions_per_file` data partitions,
+//     each on its own data volume — "4 files, each distributed across 4
+//     disk volumes (a total of 16 disk volumes)",
+//   * in PM mode: a PMM pair plus either a mirrored pair of hardware
+//     NPMUs or a PMP on an extra CPU ("we ran a PMP on a 5th CPU") —
+//     every ADP then logs to its own PM region instead of its audit
+//     volume.
+//
+// The Rig owns all of it and exposes aggregate accounting for the
+// experiments (bytes persisted per medium, checkpoint traffic, flushes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/catalog.h"
+#include "nsk/cluster.h"
+#include "pm/manager.h"
+#include "pm/npmu.h"
+#include "sim/simulation.h"
+#include "storage/disk.h"
+#include "tp/adp.h"
+#include "tp/dp2.h"
+#include "tp/log_device.h"
+#include "tp/tmf.h"
+
+namespace ods::workload {
+
+enum class PmDeviceKind {
+  kNone,      // disk-only baseline
+  kNpmuPair,  // mirrored hardware NPMUs
+  kPmp,       // the paper's prototype: one PMP process on an extra CPU
+};
+
+struct RigConfig {
+  int num_cpus = 4;  // application CPUs (PMP gets its own extra CPU)
+  int num_files = 4;
+  int partitions_per_file = 4;
+  int num_adps = 4;  // one audit trail per CPU
+
+  tp::LogMedium log_medium = tp::LogMedium::kDisk;
+  PmDeviceKind pm_device = PmDeviceKind::kNone;  // forced for kPm medium
+  bool pm_tcb = false;            // PM-resident TMF control blocks
+  bool retain_log_image = false;  // needed by cold-recovery experiments
+  bool with_backups = true;       // process pairs (vs singletons)
+  // Ablation: force each insert's audit to durable media synchronously
+  // (fine-grained persistence) instead of buffering until commit.
+  bool force_audit_per_insert = false;
+
+  storage::DiskConfig data_disk;
+  storage::DiskConfig audit_disk;
+  tp::DiskLogConfig disk_log;
+  pm::NpmuConfig npmu;
+  nsk::ClusterConfig cluster;
+  std::uint64_t pm_log_region_bytes = 48ull << 20;
+};
+
+class Rig {
+ public:
+  Rig(sim::Simulation& sim, RigConfig config);
+  ~Rig();
+
+  Rig(const Rig&) = delete;
+  Rig& operator=(const Rig&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] nsk::Cluster& cluster() noexcept { return *cluster_; }
+  [[nodiscard]] const db::Catalog& catalog() const noexcept { return catalog_; }
+  [[nodiscard]] const RigConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] tp::TmfProcess& tmf() noexcept { return *tmf_primary_; }
+  [[nodiscard]] std::vector<tp::AdpProcess*>& adps() noexcept {
+    return adp_primaries_;
+  }
+  [[nodiscard]] std::vector<tp::Dp2Process*>& dp2s() noexcept {
+    return dp2_primaries_;
+  }
+  [[nodiscard]] pm::PmManager* pmm() noexcept { return pmm_primary_; }
+  [[nodiscard]] std::vector<storage::DiskVolume*> data_volumes() noexcept;
+  [[nodiscard]] std::vector<storage::DiskVolume*> audit_volumes() noexcept;
+
+  // ---- fault injection ----
+  void KillAdpPrimary(int index);
+  void KillTmfPrimary();
+  void KillPmmPrimary();
+  // Whole-node power loss: every process dies, volatile device state is
+  // wiped; disks and NPMUs keep their contents. Call Restart() after.
+  void PowerLoss();
+  void RestartAfterPowerLoss();
+
+  // ---- aggregate accounting (experiment E7 and friends) ----
+  struct PersistenceAccounting {
+    std::uint64_t disk_bytes_written = 0;   // data + audit volumes
+    std::uint64_t pm_bytes_written = 0;     // NPMU/PMP ingress
+    std::uint64_t checkpoint_bytes = 0;     // process-pair traffic
+    std::uint64_t checkpoint_messages = 0;
+    std::uint64_t audit_flushes = 0;
+    std::uint64_t audit_bytes = 0;
+  };
+  [[nodiscard]] PersistenceAccounting Account() const;
+
+ private:
+  void BuildDisks();
+  void BuildPm();
+  void BuildAdps();
+  void BuildTmf();
+  void BuildDp2s();
+
+  template <typename P, typename... Args>
+  std::pair<P*, P*> SpawnPair(const std::string& service, int primary_cpu,
+                              int backup_cpu, Args&&... args);
+
+  sim::Simulation& sim_;
+  RigConfig config_;
+  std::unique_ptr<nsk::Cluster> cluster_;
+  db::Catalog catalog_;
+
+  std::vector<std::unique_ptr<storage::DiskVolume>> data_volumes_;
+  std::vector<std::unique_ptr<storage::DiskVolume>> audit_volumes_;
+  std::unique_ptr<pm::Npmu> npmu_a_;
+  std::unique_ptr<pm::Npmu> npmu_b_;
+  pm::Pmp* pmp_ = nullptr;
+
+  pm::PmManager* pmm_primary_ = nullptr;
+  pm::PmManager* pmm_backup_ = nullptr;
+  tp::TmfProcess* tmf_primary_ = nullptr;
+  tp::TmfProcess* tmf_backup_ = nullptr;
+  std::vector<tp::AdpProcess*> adp_primaries_;
+  std::vector<tp::AdpProcess*> adp_backups_;
+  std::vector<tp::Dp2Process*> dp2_primaries_;
+  std::vector<tp::Dp2Process*> dp2_backups_;
+};
+
+}  // namespace ods::workload

@@ -1,0 +1,38 @@
+// Parameter-sweep runner: executes independent simulation configurations
+// across host threads (each Simulation is self-contained and shares
+// nothing, so sweeps parallelize embarrassingly). On single-core hosts it
+// degrades to a sequential loop.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ods::workload {
+
+// Runs fn(i) for i in [0, n) using up to `max_threads` host threads
+// (0 = hardware concurrency). fn must not touch shared mutable state
+// except through its index-addressed result slot.
+inline void ParallelSweep(int n, const std::function<void(int)>& fn,
+                          unsigned max_threads = 0) {
+  if (max_threads == 0) max_threads = std::thread::hardware_concurrency();
+  const unsigned workers = std::max(1u, std::min<unsigned>(
+      max_threads, static_cast<unsigned>(n)));
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace ods::workload

@@ -1,0 +1,534 @@
+// Integration tests for the persistent memory system: PMM pair + mirrored
+// NPMUs + client library. Covers the region lifecycle, synchronous
+// mirrored writes, access control end-to-end, PMM failover, NPMU failure,
+// power-loss recovery, and the PMP prototype's volatility.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nsk/cluster.h"
+#include "pm/client.h"
+#include "pm/manager.h"
+#include "pm/npmu.h"
+#include "sim/simulation.h"
+
+namespace ods::pm {
+namespace {
+
+using sim::Microseconds;
+using sim::Milliseconds;
+using sim::Seconds;
+using sim::SimTime;
+using sim::Task;
+
+class TestProcess : public nsk::NskProcess {
+ public:
+  using Body = std::function<Task<void>(TestProcess&)>;
+  TestProcess(nsk::Cluster& cluster, int cpu, std::string name, Body body)
+      : NskProcess(cluster, cpu, std::move(name)), body_(std::move(body)) {}
+
+ protected:
+  Task<void> Main() override { return body_(*this); }
+
+ private:
+  Body body_;
+};
+
+std::vector<std::byte> Fill(std::size_t n, std::uint8_t v) {
+  return std::vector<std::byte>(n, static_cast<std::byte>(v));
+}
+
+// Full PM rig: 4-CPU cluster, two hardware NPMUs, PMM pair on CPUs 0/1.
+struct PmFixture : ::testing::Test {
+  PmFixture()
+      : sim(11), cluster(sim, MakeConfig()),
+        npmu_a(cluster.fabric(), "npmu-a"),
+        npmu_b(cluster.fabric(), "npmu-b") {
+    pmm_p = &sim.AdoptStopped<PmManager>(cluster, 0, "$PMM", "$PMM-P",
+                                         PmDevice(npmu_a), PmDevice(npmu_b),
+                                         "$PM1");
+    pmm_b = &sim.AdoptStopped<PmManager>(cluster, 1, "$PMM", "$PMM-B",
+                                         PmDevice(npmu_a), PmDevice(npmu_b),
+                                         "$PM1");
+    pmm_p->SetPeer(pmm_b);
+    pmm_b->SetPeer(pmm_p);
+    pmm_p->Start();
+    pmm_b->Start();
+  }
+
+  // Unwind all processes while the cluster and devices are still alive.
+  ~PmFixture() override { sim.Shutdown(); }
+
+  static nsk::ClusterConfig MakeConfig() {
+    nsk::ClusterConfig c;
+    c.num_cpus = 4;
+    return c;
+  }
+
+  sim::Simulation sim;
+  nsk::Cluster cluster;
+  Npmu npmu_a;
+  Npmu npmu_b;
+  PmManager* pmm_p;
+  PmManager* pmm_b;
+};
+
+// ------------------------------------------------------- region lifecycle
+
+TEST_F(PmFixture, CreateWriteReadBack) {
+  bool done = false;
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 64 * 1024);
+    EXPECT_TRUE(region.ok()) << region.status().ToString();
+    auto st = co_await region->Write(100, Fill(4096, 0xAB));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    auto back = co_await region->Read(100, 4096);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], std::byte{0xAB});
+    EXPECT_EQ((*back)[4095], std::byte{0xAB});
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(PmFixture, WritesAreMirroredToBothNpmus) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(512, 0x3C))).ok());
+  });
+  sim.Run();
+  // Find the region's offset via either device's data area content.
+  EXPECT_EQ(npmu_a.data_memory()[0], std::byte{0x3C});
+  EXPECT_EQ(npmu_b.data_memory()[0], std::byte{0x3C});
+}
+
+TEST_F(PmFixture, SynchronousWriteLatencyTensOfMicroseconds) {
+  // §3.3: PM access "incurs only 10s of microseconds of latency".
+  SimTime t0{}, t1{};
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 64 * 1024);
+    EXPECT_TRUE(region.ok());
+    t0 = self.sim().Now();
+    EXPECT_TRUE((co_await region->Write(0, Fill(4096, 1))).ok());
+    t1 = self.sim().Now();
+  });
+  sim.Run();
+  const double us = sim::ToMicrosD(t1 - t0);
+  EXPECT_GT(us, 10.0);
+  EXPECT_LT(us, 100.0);
+}
+
+TEST_F(PmFixture, OpenExistingRegionFromAnotherProcess) {
+  sim.Adopt<TestProcess>(cluster, 2, "writer",
+                         [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("shared", 4096);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(64, 0x99))).ok());
+  });
+  std::vector<std::byte> got;
+  sim.Adopt<TestProcess>(cluster, 3, "reader",
+                         [&](TestProcess& self) -> Task<void> {
+    co_await self.Sleep(Milliseconds(50));
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Open("shared");
+    EXPECT_TRUE(region.ok()) << region.status().ToString();
+    auto r = co_await region->Read(0, 64);
+    EXPECT_TRUE(r.ok());
+    got = *r;
+  });
+  sim.Run();
+  ASSERT_EQ(got.size(), 64u);
+  EXPECT_EQ(got[0], std::byte{0x99});
+}
+
+TEST_F(PmFixture, OpenUnknownRegionFails) {
+  Status st;
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Open("ghost");
+    st = region.status();
+  });
+  sim.Run();
+  EXPECT_EQ(st.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(PmFixture, CreateDuplicateReturnsExisting) {
+  bool both_ok = false;
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto r1 = co_await client.Create("dup", 4096);
+    auto r2 = co_await client.Create("dup", 4096);
+    both_ok = r1.ok() && r2.ok() &&
+              r1->handle().nva == r2->handle().nva;
+  });
+  sim.Run();
+  EXPECT_TRUE(both_ok) << "create must be retry-idempotent";
+}
+
+TEST_F(PmFixture, DeleteFreesSpace) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto info0 = co_await client.Info();
+    EXPECT_TRUE(info0.ok());
+    auto region = co_await client.Create("temp", 1 << 20);
+    EXPECT_TRUE(region.ok());
+    auto info1 = co_await client.Info();
+    EXPECT_TRUE(info1.ok());
+    EXPECT_EQ(info1->free_bytes, info0->free_bytes - (1 << 20));
+    EXPECT_TRUE((co_await client.Delete("temp")).ok());
+    auto info2 = co_await client.Info();
+    EXPECT_TRUE(info2.ok());
+    EXPECT_EQ(info2->free_bytes, info0->free_bytes);
+    // Deleted region is gone.
+    auto reopen = co_await client.Open("temp");
+    EXPECT_EQ(reopen.status().code(), ErrorCode::kNotFound);
+  });
+  sim.Run();
+}
+
+TEST_F(PmFixture, ExhaustionReported) {
+  Status st;
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto big = co_await client.Create("big", 60ull << 20);
+    EXPECT_TRUE(big.ok());
+    auto too_big = co_await client.Create("more", 10ull << 20);
+    st = too_big.status();
+  });
+  sim.Run();
+  EXPECT_EQ(st.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST_F(PmFixture, OutOfRegionBoundsRejected) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    auto st = co_await region->Write(4000, Fill(200, 1));
+    EXPECT_EQ(st.code(), ErrorCode::kOutOfRange);
+    auto rd = co_await region->Read(4090, 100);
+    EXPECT_EQ(rd.status().code(), ErrorCode::kOutOfRange);
+  });
+  sim.Run();
+}
+
+TEST_F(PmFixture, AccessControlBlocksOtherCpus) {
+  // Region restricted to CPU 2's endpoint; CPU 3 must be denied at BOTH
+  // the control path (open) and the data path (raw RDMA).
+  sim.Adopt<TestProcess>(cluster, 2, "owner",
+                         [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    std::vector<std::uint32_t> acl = {self.cpu().endpoint().id().value};
+    auto region = co_await client.Create("private", 4096, std::move(acl));
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(64, 1))).ok());
+  });
+  Status open_status;
+  Status raw_status;
+  sim.Adopt<TestProcess>(cluster, 3, "intruder",
+                         [&](TestProcess& self) -> Task<void> {
+    co_await self.Sleep(Milliseconds(50));
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Open("private");
+    open_status = region.status();
+    // Bypass the PMM: raw RDMA against the device window.
+    raw_status = co_await self.cpu().endpoint().Write(
+        self, npmu_a.id(), kDataBase + 0, Fill(64, 2));
+  });
+  sim.Run();
+  EXPECT_EQ(open_status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(raw_status.code(), ErrorCode::kPermissionDenied)
+      << "the NPMU ATT must enforce access control in hardware";
+}
+
+TEST_F(PmFixture, WriteVGathersSegments) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    std::vector<std::vector<std::byte>> segs = {Fill(10, 0x01), Fill(20, 0x02),
+                                                Fill(30, 0x03)};
+    EXPECT_TRUE((co_await region->WriteV(0, std::move(segs))).ok());
+    auto back = co_await region->Read(0, 60);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], std::byte{0x01});
+    EXPECT_EQ((*back)[10], std::byte{0x02});
+    EXPECT_EQ((*back)[30], std::byte{0x03});
+  });
+  sim.Run();
+}
+
+// ----------------------------------------------------------- PMM failover
+
+TEST_F(PmFixture, PmmFailoverPreservesRegions) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("durable", 4096);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(64, 0x42))).ok());
+    pmm_p->Kill();
+    // Re-open through the service name after takeover; data path still
+    // works and metadata survived.
+    auto reopened = co_await client.Open("durable");
+    EXPECT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto back = co_await reopened->Read(0, 64);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], std::byte{0x42});
+  });
+  sim.RunUntil(SimTime{Seconds(10).ns});
+  EXPECT_TRUE(pmm_b->is_primary());
+}
+
+TEST_F(PmFixture, DataPathUnaffectedByPmmDeath) {
+  // The PMM is control-path only: with the handle in hand, RDMA continues
+  // even while no PMM is alive at all.
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    pmm_p->Kill();
+    pmm_b->Kill();
+    auto st = co_await region->Write(0, Fill(64, 0x7A));
+    EXPECT_TRUE(st.ok()) << "data path must not involve the PMM";
+    auto back = co_await region->Read(0, 64);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], std::byte{0x7A});
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+}
+
+// ----------------------------------------------------------- NPMU failure
+
+TEST_F(PmFixture, MirrorFailureSurvivedWithoutDataLoss) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(64, 0x11))).ok());
+    npmu_b.Fail();  // mirror dies
+    auto st = co_await region->Write(64, Fill(64, 0x22));
+    EXPECT_TRUE(st.ok()) << "writes must continue on the survivor: "
+                         << st.ToString();
+    auto back = co_await region->Read(0, 128);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], std::byte{0x11});
+    EXPECT_EQ((*back)[64], std::byte{0x22});
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+  EXPECT_FALSE(pmm_p->mirror_up());
+}
+
+TEST_F(PmFixture, PrimaryNpmuFailureFailsOverToMirror) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(64, 0x33))).ok());
+    npmu_a.Fail();  // the PRIMARY device dies
+    auto back = co_await region->Read(0, 64);
+    EXPECT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ((*back)[0], std::byte{0x33});
+    // Writes continue on the surviving device.
+    EXPECT_TRUE((co_await region->Write(64, Fill(64, 0x44))).ok());
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+}
+
+TEST_F(PmFixture, ResilverRebuildsRepairedMirror) {
+  // Lose the mirror, keep writing (unprotected), repair + resilver, then
+  // lose the PRIMARY: the resilvered mirror must serve the latest data.
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 64 * 1024);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(4096, 0x11))).ok());
+    npmu_b.Fail();
+    // Written while the mirror is down — the mirror misses this.
+    EXPECT_TRUE((co_await region->Write(4096, Fill(4096, 0x22))).ok());
+    npmu_b.Repair();
+    auto copied = co_await client.Resilver();
+    EXPECT_TRUE(copied.ok()) << copied.status().ToString();
+    EXPECT_GE(*copied, 8192u);
+    // Refresh the handle (mirror_up flipped back on).
+    auto refreshed = co_await client.Open("r1");
+    EXPECT_TRUE(refreshed.ok());
+    npmu_a.Fail();  // primary gone: reads fail over to the rebuilt mirror
+    auto v1 = co_await refreshed->Read(0, 4096);
+    auto v2 = co_await refreshed->Read(4096, 4096);
+    EXPECT_TRUE(v1.ok()) << v1.status().ToString();
+    EXPECT_TRUE(v2.ok()) << v2.status().ToString();
+    if (v1.ok()) {
+      EXPECT_EQ((*v1)[0], std::byte{0x11});
+    }
+    if (v2.ok()) {
+      EXPECT_EQ((*v2)[0], std::byte{0x22})
+          << "data written while the mirror was down must be resilvered";
+    }
+  });
+  sim.RunUntil(SimTime{Seconds(10).ns});
+}
+
+TEST_F(PmFixture, ResilverOnHealthyVolumeIsNoOp) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    auto copied = co_await client.Resilver();
+    EXPECT_TRUE(copied.ok());
+    EXPECT_EQ(*copied, 0u);
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+}
+
+TEST_F(PmFixture, BothNpmusDeadIsAnError) {
+  Status st;
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    npmu_a.Fail();
+    npmu_b.Fail();
+    st = co_await region->Write(0, Fill(64, 1));
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+  EXPECT_FALSE(st.ok());
+}
+
+// ------------------------------------------------------------- power loss
+
+TEST_F(PmFixture, PowerLossRecoveryKeepsDataAndMetadata) {
+  // Phase 1: create a region and write a pattern. Phase 2: power loss —
+  // every process dies, NPMU ATTs are wiped, but NPMU memory survives.
+  // Phase 3: restart the PMM pair; a fresh client must reopen the region
+  // and read the pattern back.
+  sim.Adopt<TestProcess>(cluster, 2, "phase1",
+                         [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("persistent", 8192);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(4096, 0xEE))).ok());
+  });
+  sim.RunUntil(SimTime{Seconds(1).ns});
+
+  // Power loss.
+  pmm_p->Kill();
+  pmm_b->Kill();
+  npmu_a.PowerFail();
+  npmu_b.PowerFail();
+  sim.RunUntil(SimTime{Seconds(2).ns});
+
+  // Restart: the old primary comes back first.
+  pmm_p->Restart();
+  pmm_b->Restart();
+  bool verified = false;
+  sim.Schedule(SimTime{Seconds(3).ns}, [&] {
+    sim.Adopt<TestProcess>(cluster, 3, "phase3",
+                           [&](TestProcess& self) -> Task<void> {
+      PmClient client(self, "$PMM");
+      auto region = co_await client.Open("persistent");
+      EXPECT_TRUE(region.ok()) << region.status().ToString();
+      auto back = co_await region->Read(0, 4096);
+      EXPECT_TRUE(back.ok()) << back.status().ToString();
+      if (back.ok()) {
+        EXPECT_EQ((*back)[0], std::byte{0xEE});
+        EXPECT_EQ((*back)[4095], std::byte{0xEE});
+        verified = true;
+      }
+    });
+  });
+  sim.RunUntil(SimTime{Seconds(10).ns});
+  EXPECT_TRUE(verified) << "NPMU contents must survive power loss";
+}
+
+TEST_F(PmFixture, PmRecoveryIsFast) {
+  // §3.4: fine-grained durable metadata avoids "costly heuristic
+  // searching", giving short MTTR. PMM recovery = two metadata reads.
+  sim.RunUntil(SimTime{Seconds(1).ns});
+  pmm_p->Kill();
+  sim.RunUntil(SimTime{Seconds(5).ns});
+  ASSERT_TRUE(pmm_b->is_primary());
+  EXPECT_LT(sim::ToMillisD(pmm_b->last_recovery_time()), 1.0)
+      << "metadata recovery must be RDMA-fast (sub-millisecond)";
+}
+
+// ----------------------------------------------------------- PMP prototype
+
+struct PmpFixture : ::testing::Test {
+  PmpFixture() : sim(13), cluster(sim, MakeConfig()) {
+    // PMP on CPU 4 (the paper ran the PMP on a 5th CPU).
+    pmp = &sim.AdoptStopped<Pmp>(cluster, 4, "$PMP",
+                                 NpmuConfig{.capacity_bytes = 8 << 20});
+    pmp->Start();
+    pmm_p = &sim.AdoptStopped<PmManager>(cluster, 0, "$PMM", "$PMM-P",
+                                         PmDevice(*pmp), PmDevice(*pmp),
+                                         "$PM1");
+    pmm_b = &sim.AdoptStopped<PmManager>(cluster, 1, "$PMM", "$PMM-B",
+                                         PmDevice(*pmp), PmDevice(*pmp),
+                                         "$PM1");
+    pmm_p->SetPeer(pmm_b);
+    pmm_b->SetPeer(pmm_p);
+    pmm_p->Start();
+    pmm_b->Start();
+  }
+
+  ~PmpFixture() override { sim.Shutdown(); }
+
+  static nsk::ClusterConfig MakeConfig() {
+    nsk::ClusterConfig c;
+    c.num_cpus = 5;
+    return c;
+  }
+
+  sim::Simulation sim;
+  nsk::Cluster cluster;
+  Pmp* pmp;
+  PmManager* pmm_p;
+  PmManager* pmm_b;
+};
+
+TEST_F(PmpFixture, PmpBehavesLikeNpmuOnTheWire) {
+  bool done = false;
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok()) << region.status().ToString();
+    const SimTime t0 = self.sim().Now();
+    EXPECT_TRUE((co_await region->Write(0, Fill(4096, 0x5D))).ok());
+    const double us = sim::ToMicrosD(self.sim().Now() - t0);
+    EXPECT_LT(us, 100.0) << "PMP must have NPMU-class latency";
+    auto back = co_await region->Read(0, 4096);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], std::byte{0x5D});
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(PmpFixture, PmpLosesContentsWhenItsProcessDies) {
+  // The prototype gives "all of the performance characteristics of a
+  // hardware NPMU except for the non-volatility" (§4.2).
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    EXPECT_TRUE((co_await region->Write(0, Fill(64, 0xAF))).ok());
+    EXPECT_EQ(pmp->data_memory()[0], std::byte{0xAF});
+    pmp->Kill();
+    co_await self.Sleep(Milliseconds(10));
+    EXPECT_EQ(pmp->data_memory()[0], std::byte{0})
+        << "PMP memory is volatile — contents die with the process";
+  });
+  sim.RunUntil(SimTime{Seconds(2).ns});
+}
+
+}  // namespace
+}  // namespace ods::pm
