@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_direct_attach.dir/bench/ablation_direct_attach.cc.o"
+  "CMakeFiles/ablation_direct_attach.dir/bench/ablation_direct_attach.cc.o.d"
+  "bench/ablation_direct_attach"
+  "bench/ablation_direct_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

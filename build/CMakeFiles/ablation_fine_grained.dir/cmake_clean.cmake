@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fine_grained.dir/bench/ablation_fine_grained.cc.o"
+  "CMakeFiles/ablation_fine_grained.dir/bench/ablation_fine_grained.cc.o.d"
+  "bench/ablation_fine_grained"
+  "bench/ablation_fine_grained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fine_grained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

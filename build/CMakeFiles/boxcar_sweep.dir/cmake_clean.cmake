@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boxcar_sweep.dir/bench/boxcar_sweep.cc.o"
+  "CMakeFiles/boxcar_sweep.dir/bench/boxcar_sweep.cc.o.d"
+  "bench/boxcar_sweep"
+  "bench/boxcar_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boxcar_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/cdr_ingest.cc" "CMakeFiles/cdr_ingest.dir/bench/cdr_ingest.cc.o" "gcc" "CMakeFiles/cdr_ingest.dir/bench/cdr_ingest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ods_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/ods_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/tp/CMakeFiles/ods_tp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ods_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/ods_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsk/CMakeFiles/ods_nsk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ods_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ods_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ods_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

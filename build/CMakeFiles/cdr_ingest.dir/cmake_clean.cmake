@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdr_ingest.dir/bench/cdr_ingest.cc.o"
+  "CMakeFiles/cdr_ingest.dir/bench/cdr_ingest.cc.o.d"
+  "bench/cdr_ingest"
+  "bench/cdr_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdr_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_integrity.dir/bench/data_integrity.cc.o"
+  "CMakeFiles/data_integrity.dir/bench/data_integrity.cc.o.d"
+  "bench/data_integrity"
+  "bench/data_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_microbench.dir/bench/engine_microbench.cc.o"
+  "CMakeFiles/engine_microbench.dir/bench/engine_microbench.cc.o.d"
+  "bench/engine_microbench"
+  "bench/engine_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

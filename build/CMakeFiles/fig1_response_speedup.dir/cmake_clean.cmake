@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_response_speedup.dir/bench/fig1_response_speedup.cc.o"
+  "CMakeFiles/fig1_response_speedup.dir/bench/fig1_response_speedup.cc.o.d"
+  "bench/fig1_response_speedup"
+  "bench/fig1_response_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_response_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

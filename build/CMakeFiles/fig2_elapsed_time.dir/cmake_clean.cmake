@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_elapsed_time.dir/bench/fig2_elapsed_time.cc.o"
+  "CMakeFiles/fig2_elapsed_time.dir/bench/fig2_elapsed_time.cc.o.d"
+  "bench/fig2_elapsed_time"
+  "bench/fig2_elapsed_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_elapsed_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_latency.dir/bench/micro_latency.cc.o"
+  "CMakeFiles/micro_latency.dir/bench/micro_latency.cc.o.d"
+  "bench/micro_latency"
+  "bench/micro_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

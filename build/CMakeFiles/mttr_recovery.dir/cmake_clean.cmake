@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mttr_recovery.dir/bench/mttr_recovery.cc.o"
+  "CMakeFiles/mttr_recovery.dir/bench/mttr_recovery.cc.o.d"
+  "bench/mttr_recovery"
+  "bench/mttr_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mttr_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

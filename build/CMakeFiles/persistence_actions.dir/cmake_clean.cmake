@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_actions.dir/bench/persistence_actions.cc.o"
+  "CMakeFiles/persistence_actions.dir/bench/persistence_actions.cc.o.d"
+  "bench/persistence_actions"
+  "bench/persistence_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_fixing.dir/bench/pointer_fixing.cc.o"
+  "CMakeFiles/pointer_fixing.dir/bench/pointer_fixing.cc.o.d"
+  "bench/pointer_fixing"
+  "bench/pointer_fixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_fixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

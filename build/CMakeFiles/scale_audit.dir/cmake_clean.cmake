@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_audit.dir/bench/scale_audit.cc.o"
+  "CMakeFiles/scale_audit.dir/bench/scale_audit.cc.o.d"
+  "bench/scale_audit"
+  "bench/scale_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_queue.dir/durable_queue.cpp.o"
+  "CMakeFiles/durable_queue.dir/durable_queue.cpp.o.d"
+  "durable_queue"
+  "durable_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_stock.dir/hot_stock.cpp.o"
+  "CMakeFiles/hot_stock.dir/hot_stock.cpp.o.d"
+  "hot_stock"
+  "hot_stock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_stock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_heap.dir/persistent_heap.cpp.o"
+  "CMakeFiles/persistent_heap.dir/persistent_heap.cpp.o.d"
+  "persistent_heap"
+  "persistent_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_cdr.dir/telecom_cdr.cpp.o"
+  "CMakeFiles/telecom_cdr.dir/telecom_cdr.cpp.o.d"
+  "telecom_cdr"
+  "telecom_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

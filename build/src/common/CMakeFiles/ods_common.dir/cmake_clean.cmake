@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_common.dir/crc32.cc.o"
+  "CMakeFiles/ods_common.dir/crc32.cc.o.d"
+  "CMakeFiles/ods_common.dir/log.cc.o"
+  "CMakeFiles/ods_common.dir/log.cc.o.d"
+  "CMakeFiles/ods_common.dir/serialize.cc.o"
+  "CMakeFiles/ods_common.dir/serialize.cc.o.d"
+  "CMakeFiles/ods_common.dir/stats.cc.o"
+  "CMakeFiles/ods_common.dir/stats.cc.o.d"
+  "CMakeFiles/ods_common.dir/status.cc.o"
+  "CMakeFiles/ods_common.dir/status.cc.o.d"
+  "libods_common.a"
+  "libods_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_db.dir/txn_client.cc.o"
+  "CMakeFiles/ods_db.dir/txn_client.cc.o.d"
+  "libods_db.a"
+  "libods_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

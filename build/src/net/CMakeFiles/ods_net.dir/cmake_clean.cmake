@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_net.dir/fabric.cc.o"
+  "CMakeFiles/ods_net.dir/fabric.cc.o.d"
+  "libods_net.a"
+  "libods_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

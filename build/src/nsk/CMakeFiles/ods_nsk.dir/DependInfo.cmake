@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nsk/cluster.cc" "src/nsk/CMakeFiles/ods_nsk.dir/cluster.cc.o" "gcc" "src/nsk/CMakeFiles/ods_nsk.dir/cluster.cc.o.d"
+  "/root/repo/src/nsk/pair.cc" "src/nsk/CMakeFiles/ods_nsk.dir/pair.cc.o" "gcc" "src/nsk/CMakeFiles/ods_nsk.dir/pair.cc.o.d"
+  "/root/repo/src/nsk/process.cc" "src/nsk/CMakeFiles/ods_nsk.dir/process.cc.o" "gcc" "src/nsk/CMakeFiles/ods_nsk.dir/process.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ods_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ods_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ods_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_nsk.dir/cluster.cc.o"
+  "CMakeFiles/ods_nsk.dir/cluster.cc.o.d"
+  "CMakeFiles/ods_nsk.dir/pair.cc.o"
+  "CMakeFiles/ods_nsk.dir/pair.cc.o.d"
+  "CMakeFiles/ods_nsk.dir/process.cc.o"
+  "CMakeFiles/ods_nsk.dir/process.cc.o.d"
+  "libods_nsk.a"
+  "libods_nsk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_nsk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/client.cc" "src/pm/CMakeFiles/ods_pm.dir/client.cc.o" "gcc" "src/pm/CMakeFiles/ods_pm.dir/client.cc.o.d"
+  "/root/repo/src/pm/direct.cc" "src/pm/CMakeFiles/ods_pm.dir/direct.cc.o" "gcc" "src/pm/CMakeFiles/ods_pm.dir/direct.cc.o.d"
+  "/root/repo/src/pm/heap.cc" "src/pm/CMakeFiles/ods_pm.dir/heap.cc.o" "gcc" "src/pm/CMakeFiles/ods_pm.dir/heap.cc.o.d"
+  "/root/repo/src/pm/manager.cc" "src/pm/CMakeFiles/ods_pm.dir/manager.cc.o" "gcc" "src/pm/CMakeFiles/ods_pm.dir/manager.cc.o.d"
+  "/root/repo/src/pm/metadata.cc" "src/pm/CMakeFiles/ods_pm.dir/metadata.cc.o" "gcc" "src/pm/CMakeFiles/ods_pm.dir/metadata.cc.o.d"
+  "/root/repo/src/pm/npmu.cc" "src/pm/CMakeFiles/ods_pm.dir/npmu.cc.o" "gcc" "src/pm/CMakeFiles/ods_pm.dir/npmu.cc.o.d"
+  "/root/repo/src/pm/queue.cc" "src/pm/CMakeFiles/ods_pm.dir/queue.cc.o" "gcc" "src/pm/CMakeFiles/ods_pm.dir/queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ods_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ods_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ods_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsk/CMakeFiles/ods_nsk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

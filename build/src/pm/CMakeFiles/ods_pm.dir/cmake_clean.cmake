@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_pm.dir/client.cc.o"
+  "CMakeFiles/ods_pm.dir/client.cc.o.d"
+  "CMakeFiles/ods_pm.dir/direct.cc.o"
+  "CMakeFiles/ods_pm.dir/direct.cc.o.d"
+  "CMakeFiles/ods_pm.dir/heap.cc.o"
+  "CMakeFiles/ods_pm.dir/heap.cc.o.d"
+  "CMakeFiles/ods_pm.dir/manager.cc.o"
+  "CMakeFiles/ods_pm.dir/manager.cc.o.d"
+  "CMakeFiles/ods_pm.dir/metadata.cc.o"
+  "CMakeFiles/ods_pm.dir/metadata.cc.o.d"
+  "CMakeFiles/ods_pm.dir/npmu.cc.o"
+  "CMakeFiles/ods_pm.dir/npmu.cc.o.d"
+  "CMakeFiles/ods_pm.dir/queue.cc.o"
+  "CMakeFiles/ods_pm.dir/queue.cc.o.d"
+  "libods_pm.a"
+  "libods_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_sim.dir/process.cc.o"
+  "CMakeFiles/ods_sim.dir/process.cc.o.d"
+  "CMakeFiles/ods_sim.dir/simulation.cc.o"
+  "CMakeFiles/ods_sim.dir/simulation.cc.o.d"
+  "libods_sim.a"
+  "libods_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

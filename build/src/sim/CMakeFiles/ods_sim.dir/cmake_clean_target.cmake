@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libods_sim.a"
+)

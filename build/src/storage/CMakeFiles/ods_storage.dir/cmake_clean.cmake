@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_storage.dir/disk.cc.o"
+  "CMakeFiles/ods_storage.dir/disk.cc.o.d"
+  "libods_storage.a"
+  "libods_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tp/adp.cc" "src/tp/CMakeFiles/ods_tp.dir/adp.cc.o" "gcc" "src/tp/CMakeFiles/ods_tp.dir/adp.cc.o.d"
+  "/root/repo/src/tp/audit.cc" "src/tp/CMakeFiles/ods_tp.dir/audit.cc.o" "gcc" "src/tp/CMakeFiles/ods_tp.dir/audit.cc.o.d"
+  "/root/repo/src/tp/dp2.cc" "src/tp/CMakeFiles/ods_tp.dir/dp2.cc.o" "gcc" "src/tp/CMakeFiles/ods_tp.dir/dp2.cc.o.d"
+  "/root/repo/src/tp/lock.cc" "src/tp/CMakeFiles/ods_tp.dir/lock.cc.o" "gcc" "src/tp/CMakeFiles/ods_tp.dir/lock.cc.o.d"
+  "/root/repo/src/tp/log_device.cc" "src/tp/CMakeFiles/ods_tp.dir/log_device.cc.o" "gcc" "src/tp/CMakeFiles/ods_tp.dir/log_device.cc.o.d"
+  "/root/repo/src/tp/tmf.cc" "src/tp/CMakeFiles/ods_tp.dir/tmf.cc.o" "gcc" "src/tp/CMakeFiles/ods_tp.dir/tmf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ods_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ods_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ods_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nsk/CMakeFiles/ods_nsk.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ods_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/pm/CMakeFiles/ods_pm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

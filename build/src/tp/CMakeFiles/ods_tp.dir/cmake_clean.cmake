@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_tp.dir/adp.cc.o"
+  "CMakeFiles/ods_tp.dir/adp.cc.o.d"
+  "CMakeFiles/ods_tp.dir/audit.cc.o"
+  "CMakeFiles/ods_tp.dir/audit.cc.o.d"
+  "CMakeFiles/ods_tp.dir/dp2.cc.o"
+  "CMakeFiles/ods_tp.dir/dp2.cc.o.d"
+  "CMakeFiles/ods_tp.dir/lock.cc.o"
+  "CMakeFiles/ods_tp.dir/lock.cc.o.d"
+  "CMakeFiles/ods_tp.dir/log_device.cc.o"
+  "CMakeFiles/ods_tp.dir/log_device.cc.o.d"
+  "CMakeFiles/ods_tp.dir/tmf.cc.o"
+  "CMakeFiles/ods_tp.dir/tmf.cc.o.d"
+  "libods_tp.a"
+  "libods_tp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_tp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ods_tp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ods_workload.dir/hot_stock.cc.o"
+  "CMakeFiles/ods_workload.dir/hot_stock.cc.o.d"
+  "CMakeFiles/ods_workload.dir/rig.cc.o"
+  "CMakeFiles/ods_workload.dir/rig.cc.o.d"
+  "libods_workload.a"
+  "libods_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ods_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

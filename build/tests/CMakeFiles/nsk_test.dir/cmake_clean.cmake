@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsk_test.dir/nsk_test.cc.o"
+  "CMakeFiles/nsk_test.dir/nsk_test.cc.o.d"
+  "nsk_test"
+  "nsk_test.pdb"
+  "nsk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_heap_test.dir/pm_heap_test.cc.o"
+  "CMakeFiles/pm_heap_test.dir/pm_heap_test.cc.o.d"
+  "pm_heap_test"
+  "pm_heap_test.pdb"
+  "pm_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_metadata_test.dir/pm_metadata_test.cc.o"
+  "CMakeFiles/pm_metadata_test.dir/pm_metadata_test.cc.o.d"
+  "pm_metadata_test"
+  "pm_metadata_test.pdb"
+  "pm_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

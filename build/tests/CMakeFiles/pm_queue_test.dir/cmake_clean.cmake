@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pm_queue_test.dir/pm_queue_test.cc.o"
+  "CMakeFiles/pm_queue_test.dir/pm_queue_test.cc.o.d"
+  "pm_queue_test"
+  "pm_queue_test.pdb"
+  "pm_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pm_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

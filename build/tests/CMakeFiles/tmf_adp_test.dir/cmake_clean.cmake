@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmf_adp_test.dir/tmf_adp_test.cc.o"
+  "CMakeFiles/tmf_adp_test.dir/tmf_adp_test.cc.o.d"
+  "tmf_adp_test"
+  "tmf_adp_test.pdb"
+  "tmf_adp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmf_adp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

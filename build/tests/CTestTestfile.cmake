@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/nsk_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/pm_metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/pm_test[1]_include.cmake")
+include("/root/repo/build/tests/pm_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/pm_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/tp_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/tmf_adp_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
