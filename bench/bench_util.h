@@ -5,11 +5,61 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/stats.h"
 #include "workload/hot_stock.h"
 #include "workload/rig.h"
 
 namespace ods::bench {
+
+// Collects metrics for one benchmark binary and writes them as a flat
+// {"metric": number} object to BENCH_<name>.json in the working
+// directory, so the perf trajectory can be diffed across commits.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value) {
+    entries_.emplace_back(key, value);
+  }
+
+  // Standard latency triple (microseconds) under `prefix`.
+  void SetLatency(const std::string& prefix, const LatencyHistogram& h) {
+    Set(prefix + "_mean_us", h.mean() / 1e3);
+    Set(prefix + "_p50_us", static_cast<double>(h.Percentile(0.5)) / 1e3);
+    Set(prefix + "_p99_us", static_cast<double>(h.Percentile(0.99)) / 1e3);
+  }
+
+  // Throughput derived from a latency histogram of back-to-back ops.
+  void SetOpsPerSec(const std::string& prefix, const LatencyHistogram& h) {
+    const double mean_ns = h.mean();
+    Set(prefix + "_ops_per_sec", mean_ns > 0 ? 1e9 / mean_ns : 0.0);
+  }
+
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.6g%s\n", entries_[i].first.c_str(),
+                   entries_[i].second, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 // The paper inserts 32000 records per driver. The default here is 1/4
 // scale so the whole bench suite runs in seconds; set

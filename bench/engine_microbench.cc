@@ -2,15 +2,27 @@
 // benchmark, real time): event throughput, coroutine primitives, CRC and
 // framing costs. These bound how large an ODS configuration the
 // simulator can drive.
+//
+// Before the google benchmarks, main() measures the SIMULATED latency of
+// the pipelined PM append path (piggybacked control block vs the seed's
+// serialized data-then-control writes) and emits the numbers to
+// BENCH_engine_microbench.json.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
+#include "bench_util.h"
 #include "common/crc32.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "nsk/cluster.h"
+#include "pm/manager.h"
+#include "pm/npmu.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "tp/audit.h"
+#include "tp/log_device.h"
 
 namespace {
 
@@ -140,6 +152,112 @@ void BM_HistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramRecord);
 
+// ---------------------------------------------------- simulated PM appends
+
+class BenchProcess : public nsk::NskProcess {
+ public:
+  using Body = std::function<sim::Task<void>(BenchProcess&)>;
+  BenchProcess(nsk::Cluster& cluster, int cpu, std::string name, Body body)
+      : NskProcess(cluster, cpu, std::move(name)), body_(std::move(body)) {}
+
+ protected:
+  sim::Task<void> Main() override { return body_(*this); }
+
+ private:
+  Body body_;
+};
+
+struct AppendBenchResult {
+  LatencyHistogram latency;
+  std::uint64_t piggybacked = 0;
+};
+
+// Simulated latency of PmLogDevice appends against a mirrored NPMU pair:
+// `batch` records of `record_bytes` per AppendBatch call, sequential
+// (each durable before the next starts), with the piggyback ablation
+// knob. piggyback=false reproduces the seed's two serialized RDMA rounds
+// per append.
+AppendBenchResult RunPmAppendBench(bool piggyback, int appends,
+                                   std::size_t record_bytes, int batch) {
+  sim::Simulation sim(7);
+  nsk::ClusterConfig ccfg;
+  ccfg.num_cpus = 4;
+  nsk::Cluster cluster(sim, ccfg);
+  pm::Npmu npmu_a(cluster.fabric(), "npmu-a");
+  pm::Npmu npmu_b(cluster.fabric(), "npmu-b");
+  auto& pmm_p = sim.AdoptStopped<pm::PmManager>(
+      cluster, 0, "$PMM", "$PMM-P", pm::PmDevice(npmu_a), pm::PmDevice(npmu_b),
+      "$PM1");
+  auto& pmm_b = sim.AdoptStopped<pm::PmManager>(
+      cluster, 1, "$PMM", "$PMM-B", pm::PmDevice(npmu_a), pm::PmDevice(npmu_b),
+      "$PM1");
+  pmm_p.SetPeer(&pmm_b);
+  pmm_b.SetPeer(&pmm_p);
+  pmm_p.Start();
+  pmm_b.Start();
+
+  AppendBenchResult out;
+  sim.Adopt<BenchProcess>(
+      cluster, 2, "bench", [&](BenchProcess& self) -> sim::Task<void> {
+        tp::PmLogConfig cfg;
+        cfg.region_name = "bench-log";
+        cfg.region_bytes = 16ull << 20;
+        cfg.piggyback_control = piggyback;
+        tp::PmLogDevice dev(cfg);
+        auto open = co_await dev.Open(self);
+        if (!open.ok()) co_return;
+        for (int i = 0; i < appends; ++i) {
+          std::vector<std::vector<std::byte>> records(
+              static_cast<std::size_t>(batch),
+              std::vector<std::byte>(record_bytes, std::byte{1}));
+          const sim::SimTime t0 = self.sim().Now();
+          (void)co_await dev.AppendBatch(self, std::move(records));
+          out.latency.Record(
+              static_cast<std::uint64_t>((self.sim().Now() - t0).ns));
+        }
+        out.piggybacked = dev.pipeline_stats()->piggybacked.value();
+      });
+  sim.Run();
+  return out;
+}
+
+void ReportPmAppend(bench::BenchJson& json, const char* label,
+                    std::size_t record_bytes, int batch) {
+  constexpr int kAppends = 2000;
+  AppendBenchResult on = RunPmAppendBench(true, kAppends, record_bytes, batch);
+  AppendBenchResult off =
+      RunPmAppendBench(false, kAppends, record_bytes, batch);
+  std::printf(
+      "pm_append %-18s piggyback=on  mean=%7.2fus p99=%7.2fus  (%llu "
+      "piggybacked)\n",
+      label, on.latency.mean() / 1e3,
+      static_cast<double>(on.latency.Percentile(0.99)) / 1e3,
+      static_cast<unsigned long long>(on.piggybacked));
+  std::printf(
+      "pm_append %-18s piggyback=off mean=%7.2fus p99=%7.2fus  (seed path)\n",
+      label, off.latency.mean() / 1e3,
+      static_cast<double>(off.latency.Percentile(0.99)) / 1e3);
+  const std::string base = std::string("pm_append_") + label;
+  json.SetLatency(base + "_piggyback_on", on.latency);
+  json.SetOpsPerSec(base + "_piggyback_on", on.latency);
+  json.SetLatency(base + "_piggyback_off", off.latency);
+  json.SetOpsPerSec(base + "_piggyback_off", off.latency);
+  json.Set(base + "_reduction_us",
+           (off.latency.mean() - on.latency.mean()) / 1e3);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchJson json("engine_microbench");
+  ReportPmAppend(json, "256B", 256, 1);
+  ReportPmAppend(json, "4KB", 4096, 1);
+  ReportPmAppend(json, "8x4KB_batch", 4096, 8);
+  json.Write();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -64,6 +64,13 @@ Result<AttWindow*> Endpoint::Translate(EndpointId initiator, std::uint64_t nva,
 
 sim::Future<Status> Endpoint::StartWrite(EndpointId target, std::uint64_t nva,
                                          std::vector<std::byte> data) {
+  std::vector<ChainSegment> segments;
+  segments.push_back(ChainSegment{nva, std::move(data)});
+  return StartWriteChain(target, std::move(segments));
+}
+
+sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
+                                              std::vector<ChainSegment> segments) {
   sim::Promise<Status> done(fabric_.sim());
   auto fut = done.GetFuture();
   auto& sim = fabric_.sim();
@@ -91,49 +98,73 @@ sim::Future<Status> Endpoint::StartWrite(EndpointId target, std::uint64_t nva,
                Status(ErrorCode::kUnavailable, "target endpoint down"));
     return fut;
   }
-  auto win = tgt->Translate(id_, nva, data.size(), /*for_write=*/true);
-  if (!win.ok()) {
-    fail_after(round_trip, win.status());
-    return fut;
+  // Translate every segment before anything is posted: a bad chain fails
+  // whole, nothing lands.
+  struct Leg {
+    std::byte* base;
+    std::function<void(std::uint64_t, std::uint64_t)> on_write;
+    std::uint64_t window_off;
+    std::shared_ptr<std::vector<std::byte>> payload;
+  };
+  std::vector<Leg> legs;
+  legs.reserve(segments.size());
+  std::uint64_t total = 0;
+  for (ChainSegment& seg : segments) {
+    auto win = tgt->Translate(id_, seg.nva, seg.data.size(), /*for_write=*/true);
+    if (!win.ok()) {
+      fail_after(round_trip, win.status());
+      return fut;
+    }
+    total += seg.data.size();
+    legs.push_back(Leg{(*win)->memory + (seg.nva - (*win)->nva_base),
+                       (*win)->on_write, seg.nva - (*win)->nva_base,
+                       std::make_shared<std::vector<std::byte>>(
+                           std::move(seg.data))});
   }
-  std::byte* base = (*win)->memory + (nva - (*win)->nva_base);
-  auto on_write = (*win)->on_write;
-  const std::uint64_t window_off = nva - (*win)->nva_base;
 
-  // Packetize. Each packet lands independently (torn on power failure);
-  // the final ack resolves the future. Concurrent transfers to the same
-  // target queue on its ingress link.
-  const std::uint64_t len = data.size();
-  auto payload = std::make_shared<std::vector<std::byte>>(std::move(data));
+  // Packetize each segment in order along one timeline: the whole chain
+  // pays one software latency, and a corrupted packet aborts the rest of
+  // the chain (later segments never land). Each packet lands
+  // independently as it arrives (torn on power failure); the final ack
+  // resolves the future. Concurrent transfers to the same target queue on
+  // its ingress link.
   const SimTime now = sim.Now();
   const SimTime link_free = std::max(now, tgt->link_busy_until_);
-  tgt->link_busy_until_ = link_free + fabric_.TransferTime(len);
+  SimDuration wire{0};
+  for (const Leg& leg : legs) wire = wire + fabric_.TransferTime(leg.payload->size());
+  tgt->link_busy_until_ = link_free + wire;
   SimDuration t = (link_free - now) + cfg.software_latency;
   bool aborted = false;
-  for (std::uint64_t off = 0; off < len && !aborted; off += cfg.mtu_bytes) {
-    const std::uint64_t chunk = std::min<std::uint64_t>(cfg.mtu_bytes, len - off);
-    t += cfg.packet_latency +
-         sim::FromSecondsD(static_cast<double>(chunk) /
-                           cfg.bandwidth_bytes_per_sec);
-    fabric_.packets_sent_++;
-    if (sim.rng().Bernoulli(fabric_.corruption_rate_)) {
-      // The receiving NIC's CRC check rejects this packet: nothing lands,
-      // the initiator sees a failed transfer. Earlier packets have
-      // already landed — the write is torn.
-      fabric_.packets_corrupted_++;
-      fabric_.crc_detections_++;
-      fail_after(t + cfg.ack_latency,
-                 Status(ErrorCode::kDataLoss, "packet CRC check failed"));
-      aborted = true;
-      break;
+  for (const Leg& leg : legs) {
+    const std::uint64_t len = leg.payload->size();
+    for (std::uint64_t off = 0; off < len && !aborted; off += cfg.mtu_bytes) {
+      const std::uint64_t chunk = std::min<std::uint64_t>(cfg.mtu_bytes, len - off);
+      t += cfg.packet_latency +
+           sim::FromSecondsD(static_cast<double>(chunk) /
+                             cfg.bandwidth_bytes_per_sec);
+      fabric_.packets_sent_++;
+      if (sim.rng().Bernoulli(fabric_.corruption_rate_)) {
+        // The receiving NIC's CRC check rejects this packet: nothing lands,
+        // the initiator sees a failed transfer. Earlier packets have
+        // already landed — the write is torn.
+        fabric_.packets_corrupted_++;
+        fabric_.crc_detections_++;
+        fail_after(t + cfg.ack_latency,
+                   Status(ErrorCode::kDataLoss, "packet CRC check failed"));
+        aborted = true;
+        break;
+      }
+      sim.After(t, [payload = leg.payload, base = leg.base,
+                    on_write = leg.on_write, window_off = leg.window_off, off,
+                    chunk] {
+        std::memcpy(base + off, payload->data() + off, chunk);
+        if (on_write) on_write(window_off + off, chunk);
+      });
     }
-    sim.After(t, [payload, base, on_write, window_off, off, chunk] {
-      std::memcpy(base + off, payload->data() + off, chunk);
-      if (on_write) on_write(window_off + off, chunk);
-    });
+    if (aborted) break;
   }
   if (!aborted) {
-    fabric_.bytes_transferred_ += len;
+    fabric_.bytes_transferred_ += total;
     sim.After(t + cfg.ack_latency, [done]() mutable { done.Set(OkStatus()); });
   }
   return fut;

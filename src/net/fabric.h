@@ -75,6 +75,12 @@ struct RdmaResult {
   std::vector<std::byte> data;  // for reads
 };
 
+// One segment of a chained RDMA write (StartWriteChain).
+struct ChainSegment {
+  std::uint64_t nva = 0;
+  std::vector<std::byte> data;
+};
+
 class Fabric;
 
 // One attachment point on the fabric. Endpoints are created via
@@ -109,6 +115,19 @@ class Endpoint {
   // correct CRC. Packets land in target memory as they arrive.
   sim::Future<Status> StartWrite(EndpointId target, std::uint64_t nva,
                                  std::vector<std::byte> data);
+
+  // Begins a chained RDMA write: all segments are posted as ONE fabric
+  // operation (a doorbell-batched work-queue chain), so the whole chain
+  // pays a single software-latency initiation. Segments land strictly in
+  // posting order, and a CRC failure in segment k suppresses the rest of
+  // k and every later segment — ordered WQEs on one QP flush after an
+  // error. This is the ordering primitive behind control-block
+  // piggybacking in tp/log_device.cc: a trailing tail-pointer segment can
+  // never become durable before the data segments it covers. All
+  // segments are translated up front; a translation failure fails the
+  // chain before anything lands.
+  sim::Future<Status> StartWriteChain(EndpointId target,
+                                      std::vector<ChainSegment> segments);
 
   // Begins an RDMA read of `len` bytes from `target` at `nva`.
   sim::Future<RdmaResult> StartRead(EndpointId target, std::uint64_t nva,

@@ -1,6 +1,7 @@
 #include "pm/client.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/log.h"
 #include "common/serialize.h"
@@ -107,6 +108,51 @@ Task<void> PmRegion::ReportDeviceDown(std::uint32_t endpoint) {
   }
 }
 
+Task<Status> PmRegion::ResolveMirrored(Status sp, std::optional<Status> sm_opt,
+                                       std::uint64_t nbytes) {
+  const bool mirror_issued = sm_opt.has_value();
+  Status sm = mirror_issued ? std::move(*sm_opt) : OkStatus();
+  if (sp.ok() && sm.ok()) {
+    ++writes_;
+    bytes_written_ += nbytes;
+    co_return OkStatus();
+  }
+  // Exactly one mirror failed with a device-level error: data is durable
+  // on the survivor. Report, refresh roles, succeed.
+  const bool primary_dead = sp.code() == ErrorCode::kUnavailable;
+  const bool mirror_dead = sm.code() == ErrorCode::kUnavailable;
+  if (primary_dead && !mirror_dead && sm.ok() && mirror_issued) {
+    co_await ReportDeviceDown(handle_.primary_endpoint);
+    ++writes_;
+    bytes_written_ += nbytes;
+    co_return OkStatus();
+  }
+  if (mirror_dead && !primary_dead && sp.ok()) {
+    co_await ReportDeviceDown(handle_.mirror_endpoint);
+    ++writes_;
+    bytes_written_ += nbytes;
+    co_return OkStatus();
+  }
+  co_return sp.ok() ? sm : sp;
+}
+
+Task<Status> PmRegion::CompleteMirrored(sim::Future<Status> fp,
+                                        std::optional<sim::Future<Status>> fm,
+                                        std::uint64_t nbytes) {
+  Status sp = co_await fp.Wait(*host_);
+  std::optional<Status> sm;
+  if (fm) sm = co_await fm->Wait(*host_);
+  co_return co_await ResolveMirrored(std::move(sp), std::move(sm), nbytes);
+}
+
+PmWriteToken PmRegion::LaunchMirrored(sim::Future<Status> fp,
+                                      std::optional<sim::Future<Status>> fm,
+                                      std::uint64_t nbytes) {
+  return PmWriteToken(
+      *host_, sim::SpawnTask(*host_, CompleteMirrored(std::move(fp),
+                                                      std::move(fm), nbytes)));
+}
+
 Task<Status> PmRegion::Write(std::uint64_t offset,
                              std::vector<std::byte> data) {
   if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
@@ -127,31 +173,63 @@ Task<Status> PmRegion::Write(std::uint64_t offset,
                              std::move(data));
   }
   Status sp = co_await f_primary.Wait(*host_);
-  Status sm = OkStatus();
+  std::optional<Status> sm;
   if (f_mirror) sm = co_await f_mirror->Wait(*host_);
+  co_return co_await ResolveMirrored(std::move(sp), std::move(sm), nbytes);
+}
 
-  if (sp.ok() && sm.ok()) {
-    ++writes_;
-    bytes_written_ += nbytes;
-    co_return OkStatus();
+PmWriteToken PmRegion::WriteAsync(std::uint64_t offset,
+                                  std::vector<std::byte> data) {
+  if (!valid()) {
+    return PmWriteToken(Status(ErrorCode::kFailedPrecondition, "unbound"));
   }
-  // Exactly one mirror failed with a device-level error: data is durable
-  // on the survivor. Report, refresh roles, succeed.
-  const bool primary_dead = sp.code() == ErrorCode::kUnavailable;
-  const bool mirror_dead = sm.code() == ErrorCode::kUnavailable;
-  if (primary_dead && !mirror_dead && sm.ok() && handle_.mirror_up) {
-    co_await ReportDeviceDown(handle_.primary_endpoint);
-    ++writes_;
-    bytes_written_ += nbytes;
-    co_return OkStatus();
+  if (offset + data.size() > handle_.length) {
+    return PmWriteToken(Status(ErrorCode::kOutOfRange, "write beyond region"));
   }
-  if (mirror_dead && !primary_dead && sp.ok()) {
-    co_await ReportDeviceDown(handle_.mirror_endpoint);
-    ++writes_;
-    bytes_written_ += nbytes;
-    co_return OkStatus();
+  net::Endpoint& ep = host_->cpu().endpoint();
+  const std::uint64_t nva = handle_.nva + offset;
+  const std::uint64_t nbytes = data.size();
+  // Both mirror legs are on the wire before this returns; completion
+  // (including failover) runs in a detached fiber behind the token.
+  auto fp = ep.StartWrite(net::EndpointId{handle_.primary_endpoint}, nva,
+                          data);
+  std::optional<sim::Future<Status>> fm;
+  if (handle_.mirror_up) {
+    fm = ep.StartWrite(net::EndpointId{handle_.mirror_endpoint}, nva,
+                       std::move(data));
   }
-  co_return sp.ok() ? sm : sp;
+  return LaunchMirrored(std::move(fp), std::move(fm), nbytes);
+}
+
+PmWriteToken PmRegion::WriteChainAsync(std::vector<ScatterOp> ops) {
+  if (!valid()) {
+    return PmWriteToken(Status(ErrorCode::kFailedPrecondition, "unbound"));
+  }
+  std::vector<net::ChainSegment> segments;
+  segments.reserve(ops.size());
+  std::uint64_t nbytes = 0;
+  for (ScatterOp& op : ops) {
+    if (op.offset + op.bytes.size() > handle_.length) {
+      return PmWriteToken(
+          Status(ErrorCode::kOutOfRange, "chain write beyond region"));
+    }
+    nbytes += op.bytes.size();
+    segments.push_back(
+        net::ChainSegment{handle_.nva + op.offset, std::move(op.bytes)});
+  }
+  net::Endpoint& ep = host_->cpu().endpoint();
+  auto fp = ep.StartWriteChain(net::EndpointId{handle_.primary_endpoint},
+                               segments);
+  std::optional<sim::Future<Status>> fm;
+  if (handle_.mirror_up) {
+    fm = ep.StartWriteChain(net::EndpointId{handle_.mirror_endpoint},
+                            std::move(segments));
+  }
+  return LaunchMirrored(std::move(fp), std::move(fm), nbytes);
+}
+
+Task<Status> PmRegion::WriteChain(std::vector<ScatterOp> ops) {
+  co_return co_await WriteChainAsync(std::move(ops)).Wait();
 }
 
 Task<Status> PmRegion::WriteV(std::uint64_t offset,
@@ -169,32 +247,109 @@ Task<Status> PmRegion::WriteV(std::uint64_t offset,
 Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops) {
   if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
   net::Endpoint& ep = host_->cpu().endpoint();
-  std::vector<sim::Future<Status>> futures;
-  futures.reserve(ops.size() * 2);
+  struct Legs {
+    sim::Future<Status> primary;
+    std::optional<sim::Future<Status>> mirror;
+  };
+  std::vector<Legs> legs;
+  legs.reserve(ops.size());
   std::uint64_t total = 0;
+  const std::uint32_t primary_ep = handle_.primary_endpoint;
+  const std::uint32_t mirror_ep = handle_.mirror_endpoint;
   for (ScatterOp& op : ops) {
     if (op.offset + op.bytes.size() > handle_.length) {
       co_return Status(ErrorCode::kOutOfRange, "scatter write beyond region");
     }
     total += op.bytes.size();
     const std::uint64_t nva = handle_.nva + op.offset;
-    futures.push_back(ep.StartWrite(
-        net::EndpointId{handle_.primary_endpoint}, nva, op.bytes));
+    Legs l{ep.StartWrite(net::EndpointId{primary_ep}, nva, op.bytes),
+           std::nullopt};
     if (handle_.mirror_up) {
-      futures.push_back(ep.StartWrite(net::EndpointId{handle_.mirror_endpoint},
-                                      nva, std::move(op.bytes)));
+      l.mirror = ep.StartWrite(net::EndpointId{mirror_ep}, nva,
+                               std::move(op.bytes));
     }
+    legs.push_back(std::move(l));
   }
+  // Await every op, then resolve each like a mirrored write: an op whose
+  // only failure is one dead mirror is durable on the survivor. Each dead
+  // endpoint is reported to the PMM exactly once, AFTER the awaits, so a
+  // mid-scatter handle refresh cannot mix roles across ops.
   Status first_error;
-  for (auto& f : futures) {
-    Status st = co_await f.Wait(*host_);
-    if (!st.ok() && first_error.ok()) first_error = st;
+  bool primary_down = false;
+  bool mirror_down = false;
+  for (Legs& l : legs) {
+    Status sp = co_await l.primary.Wait(*host_);
+    Status sm = OkStatus();
+    if (l.mirror) sm = co_await l.mirror->Wait(*host_);
+    const bool pd = sp.code() == ErrorCode::kUnavailable;
+    const bool md = sm.code() == ErrorCode::kUnavailable;
+    primary_down = primary_down || pd;
+    mirror_down = mirror_down || md;
+    if (sp.ok() && sm.ok()) continue;
+    if (pd && !md && sm.ok() && l.mirror) continue;  // survivor holds it
+    if (md && !pd && sp.ok()) continue;              // survivor holds it
+    if (first_error.ok()) first_error = sp.ok() ? sm : sp;
   }
+  if (primary_down) co_await ReportDeviceDown(primary_ep);
+  if (mirror_down) co_await ReportDeviceDown(mirror_ep);
   if (first_error.ok()) {
     ++writes_;
     bytes_written_ += total;
   }
   co_return first_error;
+}
+
+// ------------------------------------------------------------------ token
+
+Task<Status> PmWriteToken::Wait() {
+  if (!pending_.has_value()) co_return immediate_;
+  co_return co_await pending_->Wait(*proc_);
+}
+
+// --------------------------------------------------------------- pipeline
+
+Task<void> PmWritePipeline::IssueStaged() {
+  // Backpressure: at depth, retire the oldest token first. Completion
+  // order is issue order (one ingress link per mirror), so the front
+  // token is the first to resolve.
+  while (inflight_.size() >= config_.queue_depth) {
+    PmWriteToken oldest = std::move(inflight_.front());
+    inflight_.pop_front();
+    Status st = co_await oldest.Wait();
+    if (!st.ok() && error_.ok()) error_ = st;
+  }
+  if (stats_ != nullptr) {
+    stats_->issued.Increment();
+    stats_->depth.Record(inflight_.size());
+  }
+  inflight_.push_back(
+      region_->WriteAsync(staged_->offset, std::move(staged_->bytes)));
+  staged_.reset();
+}
+
+Task<Status> PmWritePipeline::Submit(std::uint64_t offset,
+                                     std::vector<std::byte> bytes) {
+  if (staged_.has_value() && config_.coalesce_adjacent &&
+      staged_->offset + staged_->bytes.size() == offset &&
+      staged_->bytes.size() + bytes.size() <= config_.max_coalesce_bytes) {
+    staged_->bytes.insert(staged_->bytes.end(), bytes.begin(), bytes.end());
+    if (stats_ != nullptr) stats_->coalesced.Increment();
+    co_return error_;
+  }
+  if (staged_.has_value()) co_await IssueStaged();
+  staged_ = PmRegion::ScatterOp{offset, std::move(bytes)};
+  co_return error_;
+}
+
+Task<Status> PmWritePipeline::Drain() {
+  if (staged_.has_value()) co_await IssueStaged();
+  while (!inflight_.empty()) {
+    PmWriteToken t = std::move(inflight_.front());
+    inflight_.pop_front();
+    Status st = co_await t.Wait();
+    if (!st.ok() && error_.ok()) error_ = st;
+  }
+  co_return std::exchange(error_, OkStatus());
 }
 
 Task<Result<std::vector<std::byte>>> PmRegion::Read(std::uint64_t offset,

@@ -14,15 +14,49 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "nsk/process.h"
 #include "pm/manager.h"
 
 namespace ods::pm {
 
 class PmClient;
+class PmRegion;
+
+// Completion token for an asynchronous mirrored write (WriteAsync,
+// WriteChainAsync). Resolves OK only once the data is persistent on every
+// up-to-date mirror — the same durability contract as the synchronous
+// Write; mirror failover (report to the PMM, continue on the survivor)
+// happens inside the token's completion path. Validation errors are born
+// ready. Awaiting a token does not consume it; Wait() after ready()
+// returns the cached status.
+class PmWriteToken {
+ public:
+  PmWriteToken() = default;
+
+  // True once the final status is known.
+  [[nodiscard]] bool ready() const noexcept {
+    return !pending_.has_value() || pending_->ready();
+  }
+
+  // co_await token.Wait() -> Status. Blocks the issuing process's fiber.
+  sim::Task<Status> Wait();
+
+ private:
+  friend class PmRegion;
+  explicit PmWriteToken(Status immediate) : immediate_(std::move(immediate)) {}
+  PmWriteToken(sim::Process& proc, sim::Future<Status> pending)
+      : proc_(&proc), pending_(std::move(pending)) {}
+
+  sim::Process* proc_ = nullptr;
+  std::optional<sim::Future<Status>> pending_;
+  Status immediate_;
+};
 
 // An open region bound to one host process. Byte-grained, synchronous.
 class PmRegion {
@@ -36,6 +70,13 @@ class PmRegion {
   // Synchronous write: mirrored to both NPMUs; returns once the data is
   // persistent (on every up-to-date mirror) or an error.
   sim::Task<Status> Write(std::uint64_t offset, std::vector<std::byte> data);
+
+  // Non-blocking write: both mirror RDMAs are issued before this returns;
+  // the token resolves once both up mirrors acked (or after failover to a
+  // survivor). The software latency of later writes overlaps the wire
+  // time of earlier ones — the primitive under PmWritePipeline and the
+  // log device's pipelined append path.
+  PmWriteToken WriteAsync(std::uint64_t offset, std::vector<std::byte> data);
 
   // Gather variant: the segments are written back-to-back at `offset` as
   // one RDMA op per mirror (pointer-rich data without marshalling).
@@ -51,6 +92,14 @@ class PmRegion {
     std::vector<std::byte> bytes;
   };
   sim::Task<Status> WriteScatter(std::vector<ScatterOp> ops);
+
+  // Ordered-chain variant: all segments go out as ONE chained RDMA op per
+  // mirror (a single software-latency initiation). Segments land strictly
+  // in order and a failure in segment k suppresses every later segment —
+  // the ordering guarantee the log device relies on to piggyback its
+  // control block behind the data it covers (§3.4).
+  PmWriteToken WriteChainAsync(std::vector<ScatterOp> ops);
+  sim::Task<Status> WriteChain(std::vector<ScatterOp> ops);
 
   // Synchronous read from the primary mirror (failover to the other).
   sim::Task<Result<std::vector<std::byte>>> Read(std::uint64_t offset,
@@ -70,11 +119,69 @@ class PmRegion {
   // Tells the PMM a device looks dead and refreshes the handle.
   sim::Task<void> ReportDeviceDown(std::uint32_t endpoint);
 
+  // Shared completion logic for mirrored writes: both-acked success,
+  // single-mirror-dead failover (report + refresh + succeed on the
+  // survivor), hard error otherwise. `sm` is nullopt when no mirror leg
+  // was issued.
+  sim::Task<Status> ResolveMirrored(Status sp, std::optional<Status> sm,
+                                    std::uint64_t nbytes);
+  // Fiber body behind a PmWriteToken: awaits both legs, then resolves.
+  sim::Task<Status> CompleteMirrored(sim::Future<Status> fp,
+                                     std::optional<sim::Future<Status>> fm,
+                                     std::uint64_t nbytes);
+  // Wraps the completion fiber for issued mirror legs into a token.
+  PmWriteToken LaunchMirrored(sim::Future<Status> fp,
+                              std::optional<sim::Future<Status>> fm,
+                              std::uint64_t nbytes);
+
   PmClient* client_ = nullptr;
   nsk::NskProcess* host_ = nullptr;
   RegionHandle handle_;
   std::uint64_t writes_ = 0;
   std::uint64_t bytes_written_ = 0;
+};
+
+// Pipelines mirrored writes through a region at a configurable queue
+// depth. Writes are staged one op at a time; a submit adjacent to the
+// staged op is merged into it (one fabric op instead of two), and a full
+// queue exerts backpressure by awaiting the oldest in-flight token.
+// Single-submitter discipline: one fiber calls Submit/Drain. Durability
+// point is Drain(): it resolves once everything submitted so far is
+// persistent and returns the first error seen since the previous Drain.
+class PmWritePipeline {
+ public:
+  struct Config {
+    std::size_t queue_depth = 8;   // max in-flight fabric ops
+    bool coalesce_adjacent = true;
+    std::size_t max_coalesce_bytes = 256 * 1024;
+  };
+
+  PmWritePipeline(PmRegion& region, Config config,
+                  PipelineStats* stats = nullptr) noexcept
+      : region_(&region), config_(config), stats_(stats) {}
+
+  // Queues a write of `bytes` at `offset`. Blocks only for backpressure
+  // (queue at depth), never for durability.
+  sim::Task<Status> Submit(std::uint64_t offset, std::vector<std::byte> bytes);
+
+  // Barrier: everything submitted before this call is durable (or failed)
+  // when it resolves. Clears the sticky error it returns.
+  sim::Task<Status> Drain();
+
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return inflight_.size();
+  }
+
+ private:
+  // Issues the staged op, first waiting out backpressure.
+  sim::Task<void> IssueStaged();
+
+  PmRegion* region_;
+  Config config_;
+  PipelineStats* stats_;
+  std::optional<PmRegion::ScatterOp> staged_;
+  std::deque<PmWriteToken> inflight_;
+  Status error_;  // first failure since the last Drain
 };
 
 class PmClient {

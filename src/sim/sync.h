@@ -146,6 +146,26 @@ class Future {
 };
 
 // ---------------------------------------------------------------------------
+// SpawnTask
+
+// Runs `task` as a detached fiber of `proc` and returns a Future that
+// resolves with its result. This is the fork half of fork/join for
+// overlapping independent awaitable operations inside one fiber: spawn
+// both, then Wait() each future. The spawned fiber is kill-aware like any
+// other fiber of `proc`; if the process dies before the task completes,
+// the future simply never resolves (its waiters are unwound by the kill
+// path).
+template <typename T>
+[[nodiscard]] Future<T> SpawnTask(Process& proc, Task<T> task) {
+  Promise<T> promise(proc.sim());
+  Future<T> fut = promise.GetFuture();
+  proc.SpawnFiber([](Promise<T> p, Task<T> t) -> Task<void> {
+    p.Set(co_await std::move(t));
+  }(std::move(promise), std::move(task)));
+  return fut;
+}
+
+// ---------------------------------------------------------------------------
 // Channel
 
 // Unbounded MPMC FIFO. Senders never block; receivers await. Used as the

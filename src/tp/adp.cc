@@ -15,7 +15,15 @@ namespace {
 
 // Checkpoint delta framing: [kind u8][payload]
 constexpr std::uint8_t kCkptBuffer = 1;   // framed bytes appended to buffer
-constexpr std::uint8_t kCkptDurable = 2;  // durable tail advanced
+constexpr std::uint8_t kCkptDurable = 2;  // durable tail advanced (confirm)
+// Flush intent, sent concurrently with the device append it describes:
+// [confirmed u64][intent u64]. `confirmed` is a durable tail the backup
+// may trim to (bounded by what it has acked receiving); `intent` is the
+// tail the in-flight append is trying to reach. The backup must NOT trim
+// to `intent` — if the append fails or the primary dies mid-flight, the
+// promoted backup still holds the bytes and re-appends them idempotently
+// (same framed bytes at the same ring offsets).
+constexpr std::uint8_t kCkptFlush = 3;
 
 }  // namespace
 
@@ -52,7 +60,20 @@ Task<void> AdpProcess::OnBecomePrimary(bool via_takeover) {
     // Buffered-but-unflushed records stay pending; the next flush request
     // (clients retry through the service name) makes them durable.
     device_->set_tail(durable_tail_);
+    if (flush_intent_ > durable_tail_) {
+      ODS_DLOG("adp", "%s: takeover with flush in flight (intent %llu > "
+               "confirmed %llu); pending buffer re-covers it",
+               name().c_str(),
+               static_cast<unsigned long long>(flush_intent_),
+               static_cast<unsigned long long>(durable_tail_));
+    }
   }
+  // Primary-role watermarks: everything currently in buffer_ is ours by
+  // definition (recovered it or had it checkpointed to us), so it counts
+  // as acked; nothing has been confirmed to a (new) backup yet.
+  buffered_tail_ = durable_tail_ + buffer_.size();
+  ckpt_acked_tail_ = buffered_tail_;
+  durable_confirmed_ = durable_tail_;
   (void)via_takeover;
   last_recovery_time_ = sim().Now() - t0;
 }
@@ -78,17 +99,55 @@ Task<Status> AdpProcess::BufferRecords(std::span<const std::byte> payload) {
     ++records_buffered_;
   }
   buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+  buffered_tail_ += framed.size();
   if (config_.retain_log_image) {
     log_image_.insert(log_image_.end(), framed.begin(), framed.end());
   }
   // Externalization rule: the buffered delta reaches the backup before
-  // the sender is acknowledged.
-  Serializer ckpt;
-  ckpt.PutU8(kCkptBuffer);
-  ckpt.PutU64(next_lsn_);
-  ckpt.PutBlob(framed);
-  (void)co_await CheckpointToBackup(std::move(ckpt).Take());
+  // the sender is acknowledged. Deltas that arrive while a checkpoint is
+  // in flight are coalesced into the next one (one backup round trip for
+  // the whole cohort) instead of queueing a checkpoint per request.
+  ckpt_pending_.insert(ckpt_pending_.end(), framed.begin(), framed.end());
+  sim::Promise<Status> acked(sim());
+  auto fut = acked.GetFuture();
+  ckpt_waiters_.push_back(std::move(acked));
+  EnsureCkptPump();
+  (void)co_await fut.Wait(*this);
   co_return OkStatus();
+}
+
+void AdpProcess::EnsureCkptPump() {
+  if (ckpt_pump_running_) return;
+  ckpt_pump_running_ = true;
+  SpawnFiber([](AdpProcess& self) -> Task<void> {
+    co_await self.CkptPumpLoop();
+  }(*this));
+}
+
+Task<void> AdpProcess::CkptPumpLoop() {
+  while (alive() && !ckpt_waiters_.empty()) {
+    std::vector<std::byte> framed = std::move(ckpt_pending_);
+    ckpt_pending_.clear();
+    // Everything staged so far — and every fiber waiting on it — rides
+    // this one checkpoint.
+    const std::uint64_t cohort_end = buffered_tail_;
+    const std::size_t cohort = ckpt_waiters_.size();
+    coalesced_checkpoints_ += cohort - 1;
+    Serializer ckpt;
+    ckpt.PutU8(kCkptBuffer);
+    ckpt.PutU64(next_lsn_);
+    ckpt.PutBlob(framed);
+    (void)co_await CheckpointToBackup(std::move(ckpt).Take());
+    // OK means applied (or no backup to protect); either way these bytes
+    // can now be confirmed durable to the backup without risking a trim
+    // of bytes it never received.
+    ckpt_acked_tail_ = std::max(ckpt_acked_tail_, cohort_end);
+    for (std::size_t i = 0; i < cohort; ++i) {
+      ckpt_waiters_.front().Set(OkStatus());
+      ckpt_waiters_.pop_front();
+    }
+  }
+  ckpt_pump_running_ = false;
 }
 
 void AdpProcess::EnsureFlusher() {
@@ -110,15 +169,31 @@ Task<void> AdpProcess::FlushLoop() {
     Status st = OkStatus();
     if (!batch.empty()) {
       const std::size_t batch_size = batch.size();
-      st = co_await device_->Append(*this, std::move(batch));
+      // Overlap the device append with the checkpoint to the backup: both
+      // must complete before any waiter is acknowledged (§1.3), but
+      // neither orders against the other. The checkpoint is an INTENT —
+      // it confirms only a tail that is already durable AND covered by
+      // acked buffer checkpoints, so the backup never trims bytes the
+      // in-flight append could still fail to land (or bytes the backup
+      // has not received yet).
+      const std::uint64_t confirmed =
+          std::min(durable_tail_, ckpt_acked_tail_);
+      Serializer ckpt;
+      ckpt.PutU8(kCkptFlush);
+      ckpt.PutU64(confirmed);
+      ckpt.PutU64(target);
+      auto append_done =
+          sim::SpawnTask(*this, device_->Append(*this, std::move(batch)));
+      auto ckpt_done =
+          sim::SpawnTask(*this, CheckpointToBackup(std::move(ckpt).Take()));
+      st = co_await append_done.Wait(*this);
+      (void)co_await ckpt_done.Wait(*this);
       if (st.ok()) {
         durable_tail_ = target;
+        durable_confirmed_ = std::max(durable_confirmed_, confirmed);
         ++flushes_;
+        ++overlapped_flushes_;
         flushed_bytes_ += batch_size;
-        Serializer ckpt;
-        ckpt.PutU8(kCkptDurable);
-        ckpt.PutU64(durable_tail_);
-        (void)co_await CheckpointToBackup(std::move(ckpt).Take());
       }
     }
     // Answer every waiter satisfied by (or failed with) this flush.
@@ -137,6 +212,20 @@ Task<void> AdpProcess::FlushLoop() {
       }
     }
     flush_waiters_ = std::move(still_waiting);
+    // Quiescent: tell the backup the final durable tail so it can trim
+    // its pending buffer (the overlapped intents above confirm one flush
+    // behind). Then re-check — waiters may arrive during the checkpoint.
+    if (flush_waiters_.empty()) {
+      const std::uint64_t confirm = std::min(durable_tail_, ckpt_acked_tail_);
+      if (confirm > durable_confirmed_) {
+        durable_confirmed_ = confirm;
+        Serializer ckpt;
+        ckpt.PutU8(kCkptDurable);
+        ckpt.PutU64(confirm);
+        (void)co_await CheckpointToBackup(std::move(ckpt).Take());
+        continue;
+      }
+    }
   }
   flusher_running_ = false;
 }
@@ -201,20 +290,40 @@ void AdpProcess::ApplyCheckpoint(std::span<const std::byte> delta) {
   } else if (kind == kCkptDurable) {
     std::uint64_t tail = 0;
     if (!d.GetU64(tail)) return;
-    const std::uint64_t advanced = tail - durable_tail_;
-    durable_tail_ = tail;
-    // Drop the now-durable prefix from the pending buffer.
-    if (advanced >= buffer_.size()) {
-      buffer_.clear();
-    } else {
-      buffer_.erase(buffer_.begin(),
-                    buffer_.begin() + static_cast<std::ptrdiff_t>(advanced));
-    }
+    AdvanceDurable(tail);
+    state_valid_ = true;
+  } else if (kind == kCkptFlush) {
+    std::uint64_t confirmed = 0;
+    std::uint64_t intent = 0;
+    if (!d.GetU64(confirmed) || !d.GetU64(intent)) return;
+    // Trim only to `confirmed`; `intent` describes an append that may
+    // still fail. The bytes covering [confirmed, intent) stay in our
+    // pending buffer so a takeover can re-append them idempotently.
+    AdvanceDurable(confirmed);
+    flush_intent_ = std::max(flush_intent_, intent);
     state_valid_ = true;
   }
 }
 
+void AdpProcess::AdvanceDurable(std::uint64_t tail) {
+  // Checkpoints are not FIFO on the wire: a stale (smaller) confirm may
+  // arrive after a newer one. Never regress.
+  if (tail <= durable_tail_) return;
+  const std::uint64_t advanced = tail - durable_tail_;
+  durable_tail_ = tail;
+  // Drop the now-durable prefix from the pending buffer.
+  if (advanced >= buffer_.size()) {
+    buffer_.clear();
+  } else {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(advanced));
+  }
+}
+
 std::vector<std::byte> AdpProcess::SnapshotState() {
+  // The snapshot carries the full pending buffer, so once the backup
+  // installs it, everything buffered so far is known-received.
+  ckpt_acked_tail_ = std::max(ckpt_acked_tail_, buffered_tail_);
   Serializer s;
   s.PutU64(durable_tail_);
   s.PutU64(next_lsn_);

@@ -50,6 +50,14 @@ class AdpProcess : public nsk::PairMember {
   [[nodiscard]] std::uint64_t records_buffered() const noexcept {
     return records_buffered_;
   }
+  // Flushes whose device append and backup checkpoint ran concurrently.
+  [[nodiscard]] std::uint64_t overlapped_flushes() const noexcept {
+    return overlapped_flushes_;
+  }
+  // kAdpBuffer checkpoints absorbed into an already-pending one.
+  [[nodiscard]] std::uint64_t coalesced_checkpoints() const noexcept {
+    return coalesced_checkpoints_;
+  }
   [[nodiscard]] const LatencyHistogram& flush_latency() const noexcept {
     return flush_latency_;
   }
@@ -75,6 +83,13 @@ class AdpProcess : public nsk::PairMember {
     durable_tail_ = 0;
     next_lsn_ = 1;
     state_valid_ = false;
+    buffered_tail_ = 0;
+    ckpt_acked_tail_ = 0;
+    durable_confirmed_ = 0;
+    flush_intent_ = 0;
+    ckpt_pending_.clear();
+    ckpt_waiters_.clear();
+    ckpt_pump_running_ = false;
     device_->Reset();
   }
 
@@ -85,6 +100,11 @@ class AdpProcess : public nsk::PairMember {
 
   void EnsureFlusher();
   sim::Task<void> FlushLoop();
+  void EnsureCkptPump();
+  sim::Task<void> CkptPumpLoop();
+  // Backup side: advances durable_tail_ to `tail` (never backwards) and
+  // trims the now-durable prefix off the pending buffer.
+  void AdvanceDurable(std::uint64_t tail);
 
   std::unique_ptr<LogDevice> device_;
   AdpConfig config_;
@@ -95,6 +115,19 @@ class AdpProcess : public nsk::PairMember {
   std::uint64_t next_lsn_ = 1;
   bool state_valid_ = false;  // false until recovered or resynced
 
+  // Logical end of every byte ever framed into buffer_ (monotonic; equals
+  // durable_tail_ + buffer_.size() except while a flush is in flight).
+  std::uint64_t buffered_tail_ = 0;
+  // Highest logical tail covered by an ACKED kCkptBuffer checkpoint.
+  // Checkpoint delivery is not FIFO (a small confirm can overtake a large
+  // buffer delta on the wire), so durable confirms sent to the backup are
+  // capped here — the backup must never trim bytes it has not received.
+  std::uint64_t ckpt_acked_tail_ = 0;
+  // Highest durable tail the backup has been told to trim to.
+  std::uint64_t durable_confirmed_ = 0;
+  // Backup side: highest flush intent received (diagnostics at takeover).
+  std::uint64_t flush_intent_ = 0;
+
   struct FlushWaiter {
     std::uint64_t target;  // durable_tail_ must reach this
     nsk::Request request;
@@ -103,11 +136,19 @@ class AdpProcess : public nsk::PairMember {
   std::deque<FlushWaiter> flush_waiters_;
   bool flusher_running_ = false;
 
+  // Buffer-checkpoint coalescing: framed bytes staged for the next
+  // kCkptBuffer checkpoint, and the fibers awaiting its ack.
+  std::vector<std::byte> ckpt_pending_;
+  std::deque<sim::Promise<Status>> ckpt_waiters_;
+  bool ckpt_pump_running_ = false;
+
   std::vector<std::byte> log_image_;  // mirror (config_.retain_log_image)
 
   std::uint64_t flushes_ = 0;
   std::uint64_t flushed_bytes_ = 0;
   std::uint64_t records_buffered_ = 0;
+  std::uint64_t overlapped_flushes_ = 0;
+  std::uint64_t coalesced_checkpoints_ = 0;
   LatencyHistogram flush_latency_;
   sim::SimDuration last_recovery_time_{0};
 };

@@ -35,6 +35,17 @@ Task<Status> RingWrite(std::uint64_t tail, std::uint64_t capacity,
 
 }  // namespace
 
+// ---------------------------------------------------------------- LogDevice
+
+Task<Status> LogDevice::AppendBatch(nsk::NskProcess& host,
+                                    std::vector<std::vector<std::byte>> batch) {
+  for (std::vector<std::byte>& bytes : batch) {
+    auto st = co_await Append(host, std::move(bytes));
+    if (!st.ok()) co_return st;
+  }
+  co_return OkStatus();
+}
+
 // ------------------------------------------------------------ DiskLogDevice
 
 Task<Status> DiskLogDevice::Open(nsk::NskProcess& host) {
@@ -107,10 +118,11 @@ Task<Result<std::vector<std::byte>>> DiskLogDevice::RecoverLog(
 
 // -------------------------------------------------------------- PmLogDevice
 
-std::vector<std::byte> PmLogDevice::EncodeControlBlock() const {
+std::vector<std::byte> PmLogDevice::EncodeControlBlock(
+    std::uint64_t tail) const {
   Serializer s;
   s.PutU32(kControlMagic);
-  s.PutU64(tail_);
+  s.PutU64(tail);
   s.PutU32(Crc32c(s.bytes()));
   return std::move(s).Take();
 }
@@ -121,25 +133,70 @@ Task<Status> PmLogDevice::Open(nsk::NskProcess& host) {
                                        kDataBase + config_.region_bytes);
   if (!region.ok()) co_return region.status();
   region_ = std::move(*region);
+  pipeline_.emplace(*region_,
+                    pm::PmWritePipeline::Config{config_.pipeline_depth,
+                                                /*coalesce_adjacent=*/true,
+                                                /*max_coalesce_bytes=*/256 << 10},
+                    &stats_);
   co_return OkStatus();
 }
 
 Task<Status> PmLogDevice::Append(nsk::NskProcess& host,
                                  std::vector<std::byte> bytes) {
+  std::vector<std::vector<std::byte>> batch;
+  batch.push_back(std::move(bytes));
+  co_return co_await AppendBatch(host, std::move(batch));
+}
+
+Task<Status> PmLogDevice::AppendBatch(
+    nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch) {
   (void)host;
   if (!region_) co_return Status(ErrorCode::kFailedPrecondition, "not open");
-  const std::uint64_t n = bytes.size();
-  // Data first, then the control block: the tail pointer only ever
-  // covers fully-landed data, so a crash between the two writes loses
-  // nothing that was acknowledged.
+  std::uint64_t n = 0;
+  for (const auto& b : batch) n += b.size();
+  if (n == 0) co_return OkStatus();
+  // The whole batch lands back-to-back at the tail; gather it into one
+  // contiguous image (the NIC's gather DMA, modelled as a memcpy).
+  std::vector<std::byte> flat;
+  if (batch.size() == 1) {
+    flat = std::move(batch.front());
+  } else {
+    flat.reserve(n);
+    for (const auto& b : batch) flat.insert(flat.end(), b.begin(), b.end());
+  }
+
+  const std::uint64_t cap = config_.region_bytes;
+  const bool wraps = (tail_ % cap) + n > cap;
+  if (config_.piggyback_control && !wraps) {
+    // Fast path: data and the control block carrying the advanced tail go
+    // out as ONE chained RDMA op — a single software-latency round trip
+    // instead of two. The chain lands in posting order and aborts on
+    // error, so the tail pointer can never become durable before the data
+    // it covers (§3.4 recovery invariant holds without the second round).
+    const std::uint64_t new_tail = tail_ + n;
+    std::vector<pm::PmRegion::ScatterOp> ops;
+    ops.reserve(2);
+    ops.push_back({kDataBase + (tail_ % cap), std::move(flat)});
+    ops.push_back({0, EncodeControlBlock(new_tail)});
+    auto st = co_await region_->WriteChain(std::move(ops));
+    if (!st.ok()) co_return st;
+    stats_.piggybacked.Increment();
+    tail_ = new_tail;
+    co_return OkStatus();
+  }
+
+  // Wrap / ablation path: pipeline the data extents, drain the pipeline,
+  // then write the control block as its own op — the seed's ordering
+  // (data fully durable before the tail pointer covers it).
   auto st = co_await RingWrite(
-      tail_, config_.region_bytes, kDataBase, std::move(bytes),
+      tail_, cap, kDataBase, std::move(flat),
       [&](std::uint64_t off, std::vector<std::byte> b) -> Task<Status> {
-        co_return co_await region_->Write(off, std::move(b));
+        co_return co_await pipeline_->Submit(off, std::move(b));
       });
+  if (st.ok()) st = co_await pipeline_->Drain();
   if (!st.ok()) co_return st;
   tail_ += n;
-  co_return co_await region_->Write(0, EncodeControlBlock());
+  co_return co_await region_->Write(0, EncodeControlBlock(tail_));
 }
 
 Task<Result<std::vector<std::byte>>> PmLogDevice::RecoverLog(

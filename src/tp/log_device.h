@@ -6,12 +6,16 @@
 //    2004-era audit volume), i.e. milliseconds per commit.
 //
 //  * PmLogDevice — the paper's modified ADP (§4.2): audit written
-//    synchronously to a persistent-memory region. Two RDMA writes per
-//    append (data, then a small control block carrying the durable tail),
-//    i.e. tens of microseconds. The fine-grained control block is what
-//    eliminates "costly heuristic searching of audit trail information"
-//    at recovery (§3.4): recovery reads the tail pointer directly instead
-//    of scanning the log.
+//    synchronously to a persistent-memory region, i.e. tens of
+//    microseconds. When the ring does not wrap, an append is ONE chained
+//    RDMA op — the data segments plus a small control block carrying the
+//    durable tail as the final gather segment (the chain's in-order,
+//    abort-on-error semantics keep the tail from ever covering un-landed
+//    data). On wrap, or with piggybacking disabled for ablation, data is
+//    pipelined and the control block written separately afterwards. The
+//    fine-grained control block is what eliminates "costly heuristic
+//    searching of audit trail information" at recovery (§3.4): recovery
+//    reads the tail pointer directly instead of scanning the log.
 //
 // Both devices are logically infinite ring buffers: physical offsets wrap
 // modulo capacity. Recovery (ReadLog) requires the retained suffix to fit
@@ -23,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "nsk/process.h"
 #include "pm/client.h"
@@ -40,6 +45,18 @@ class LogDevice {
   // Durably appends `bytes` at the logical tail; returns once durable.
   virtual sim::Task<Status> Append(nsk::NskProcess& host,
                                    std::vector<std::byte> bytes) = 0;
+
+  // Durably appends every element of `batch` in order; returns once all
+  // are durable. One group-commit flush should be one call here: devices
+  // that can pipeline (PM) turn the whole batch into a single fabric op
+  // instead of a write-per-record. Default: sequential Appends.
+  virtual sim::Task<Status> AppendBatch(
+      nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch);
+
+  // Pipelining instrumentation, when the device has any (PM only).
+  [[nodiscard]] virtual const PipelineStats* pipeline_stats() const noexcept {
+    return nullptr;
+  }
 
   // Recovery with no surviving in-memory state: locate the durable tail
   // and return the retained log image (in log order). The time this takes
@@ -90,6 +107,13 @@ struct PmLogConfig {
   std::string pmm_service = "$PMM";
   std::string region_name;          // unique per ADP, e.g. "audit-$ADP0"
   std::uint64_t region_bytes = 48ull << 20;
+  // Carry the control block as the final gather segment of the data RDMA
+  // when the ring does not wrap (one fabric round trip per append instead
+  // of two). Off = the seed's serialized data-then-control path, kept as
+  // an ablation knob.
+  bool piggyback_control = true;
+  // Queue depth of the write pipeline used on the non-piggybacked path.
+  std::size_t pipeline_depth = 8;
 };
 
 class PmLogDevice final : public LogDevice {
@@ -99,13 +123,19 @@ class PmLogDevice final : public LogDevice {
   sim::Task<Status> Open(nsk::NskProcess& host) override;
   sim::Task<Status> Append(nsk::NskProcess& host,
                            std::vector<std::byte> bytes) override;
+  sim::Task<Status> AppendBatch(
+      nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch) override;
   sim::Task<Result<std::vector<std::byte>>> RecoverLog(
       nsk::NskProcess& host) override;
 
   [[nodiscard]] std::uint64_t tail() const noexcept override { return tail_; }
   void set_tail(std::uint64_t tail) noexcept override { tail_ = tail; }
   [[nodiscard]] std::string_view kind() const noexcept override { return "pm"; }
+  [[nodiscard]] const PipelineStats* pipeline_stats() const noexcept override {
+    return &stats_;
+  }
   void Reset() noexcept override {
+    pipeline_.reset();
     region_.reset();
     tail_ = 0;
   }
@@ -114,10 +144,13 @@ class PmLogDevice final : public LogDevice {
   // Region layout: [control block (64B) | log data ring].
   static constexpr std::uint64_t kDataBase = 64;
 
-  [[nodiscard]] std::vector<std::byte> EncodeControlBlock() const;
+  [[nodiscard]] std::vector<std::byte> EncodeControlBlock(
+      std::uint64_t tail) const;
 
   PmLogConfig config_;
   std::optional<pm::PmRegion> region_;
+  std::optional<pm::PmWritePipeline> pipeline_;
+  PipelineStats stats_;
   std::uint64_t tail_ = 0;
 };
 

@@ -47,6 +47,11 @@ struct DriverStats {
 struct HotStockResult {
   std::vector<DriverStats> drivers;
   double elapsed_seconds = 0;  // wall (simulated) time for all drivers
+  // Pipelined-write-engine counters aggregated over the rig's ADPs
+  // (zero on the disk medium).
+  std::uint64_t piggybacked_controls = 0;  // control blocks ridden on data
+  std::uint64_t overlapped_flushes = 0;    // append ∥ checkpoint flushes
+  std::uint64_t coalesced_checkpoints = 0; // buffer ckpts merged into one
   [[nodiscard]] double MeanResponseUs() const;
   [[nodiscard]] std::uint64_t TotalCommitted() const;
   [[nodiscard]] double Throughput() const {  // records per second

@@ -112,6 +112,8 @@ void Rig::BuildAdps() {
       pm_cfg.pmm_service = "$PMM";
       pm_cfg.region_name = "audit-" + service;
       pm_cfg.region_bytes = config_.pm_log_region_bytes;
+      pm_cfg.piggyback_control = config_.pm_piggyback;
+      pm_cfg.pipeline_depth = config_.pm_pipeline_depth;
       return std::make_unique<tp::PmLogDevice>(pm_cfg);
     };
     tp::AdpProcess& primary = sim_.AdoptStopped<tp::AdpProcess>(

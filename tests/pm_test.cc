@@ -513,6 +513,118 @@ TEST_F(PmpFixture, PmpBehavesLikeNpmuOnTheWire) {
   EXPECT_TRUE(done);
 }
 
+// ------------------------------------------------- async writes / pipeline
+
+TEST_F(PmFixture, WriteAsyncTokensResolveMirrored) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 64 * 1024);
+    EXPECT_TRUE(region.ok());
+    // Several writes on the wire at once; each token independently
+    // awaitable, all durable on both devices afterwards.
+    PmWriteToken t1 = region->WriteAsync(0, Fill(512, 0x01));
+    PmWriteToken t2 = region->WriteAsync(512, Fill(512, 0x02));
+    PmWriteToken t3 = region->WriteAsync(1024, Fill(512, 0x03));
+    EXPECT_TRUE((co_await t1.Wait()).ok());
+    EXPECT_TRUE((co_await t2.Wait()).ok());
+    EXPECT_TRUE((co_await t3.Wait()).ok());
+    EXPECT_TRUE(t3.ready());
+    // Waiting a resolved token again returns the cached status.
+    EXPECT_TRUE((co_await t3.Wait()).ok());
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+  EXPECT_EQ(npmu_a.data_memory()[0], std::byte{0x01});
+  EXPECT_EQ(npmu_b.data_memory()[1025], std::byte{0x03});
+}
+
+TEST_F(PmFixture, WriteAsyncOutOfRangeIsBornReady) {
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 4096);
+    EXPECT_TRUE(region.ok());
+    PmWriteToken t = region->WriteAsync(4096 - 8, Fill(64, 0xFF));
+    EXPECT_TRUE(t.ready());
+    EXPECT_EQ((co_await t.Wait()).code(), ErrorCode::kOutOfRange);
+  });
+  sim.RunUntil(SimTime{Seconds(2).ns});
+}
+
+TEST_F(PmFixture, WriteAsyncAndDrainSurviveMirrorFailure) {
+  // The issue's acceptance case: a pipeline of async writes with one
+  // mirror down mid-stream must drain OK (durability on the survivor)
+  // and report the dead device to the PMM.
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 64 * 1024);
+    EXPECT_TRUE(region.ok());
+    PmWritePipeline pipe(*region, PmWritePipeline::Config{4, false, 0});
+    EXPECT_TRUE((co_await pipe.Submit(0, Fill(256, 0x10))).ok());
+    EXPECT_TRUE((co_await pipe.Drain()).ok());
+    npmu_b.Fail();  // mirror dies with writes still to come
+    EXPECT_TRUE((co_await pipe.Submit(256, Fill(256, 0x20))).ok());
+    EXPECT_TRUE((co_await pipe.Submit(512, Fill(256, 0x30))).ok());
+    auto st = co_await pipe.Drain();
+    EXPECT_TRUE(st.ok()) << "drain must succeed on the survivor: "
+                         << st.ToString();
+    auto back = co_await region->Read(0, 768);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[256], std::byte{0x20});
+    EXPECT_EQ((*back)[512], std::byte{0x30});
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+  EXPECT_FALSE(pmm_p->mirror_up()) << "dead mirror must be reported";
+  EXPECT_EQ(npmu_a.data_memory()[512], std::byte{0x30});
+}
+
+TEST_F(PmFixture, PipelineCoalescesAdjacentSubmits) {
+  PipelineStats stats;
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 64 * 1024);
+    EXPECT_TRUE(region.ok());
+    const std::uint64_t writes_before = region->writes();
+    PmWritePipeline pipe(*region, PmWritePipeline::Config{8, true, 1 << 20},
+                         &stats);
+    // Four back-to-back extents: one staged op, three merged into it.
+    EXPECT_TRUE((co_await pipe.Submit(0, Fill(128, 0x01))).ok());
+    EXPECT_TRUE((co_await pipe.Submit(128, Fill(128, 0x02))).ok());
+    EXPECT_TRUE((co_await pipe.Submit(256, Fill(128, 0x03))).ok());
+    EXPECT_TRUE((co_await pipe.Submit(384, Fill(128, 0x04))).ok());
+    EXPECT_TRUE((co_await pipe.Drain()).ok());
+    EXPECT_EQ(region->writes() - writes_before, 1u)
+        << "adjacent submits must ride one mirrored op";
+    auto back = co_await region->Read(0, 512);
+    EXPECT_TRUE(back.ok());
+    EXPECT_EQ((*back)[0], std::byte{0x01});
+    EXPECT_EQ((*back)[511], std::byte{0x04});
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+  EXPECT_EQ(stats.coalesced.value(), 3u);
+  EXPECT_EQ(stats.issued.value(), 1u);
+}
+
+TEST_F(PmFixture, WriteScatterReportsDeadMirrorAndSucceedsOnSurvivor) {
+  // Regression: WriteScatter used to swallow per-op mirror failures —
+  // the PMM was never told and the whole scatter returned the error even
+  // though every byte was durable on the survivor.
+  sim.Adopt<TestProcess>(cluster, 2, "app", [&](TestProcess& self) -> Task<void> {
+    PmClient client(self, "$PMM");
+    auto region = co_await client.Create("r1", 64 * 1024);
+    EXPECT_TRUE(region.ok());
+    npmu_b.Fail();
+    std::vector<PmRegion::ScatterOp> ops;
+    ops.push_back({0, Fill(64, 0x5A)});
+    ops.push_back({4096, Fill(64, 0x5B)});
+    ops.push_back({8192, Fill(64, 0x5C)});
+    auto st = co_await region->WriteScatter(std::move(ops));
+    EXPECT_TRUE(st.ok()) << "every op is durable on the survivor: "
+                         << st.ToString();
+  });
+  sim.RunUntil(SimTime{Seconds(5).ns});
+  EXPECT_FALSE(pmm_p->mirror_up()) << "dead mirror must be reported";
+  EXPECT_EQ(npmu_a.data_memory()[8192], std::byte{0x5C});
+}
+
 TEST_F(PmpFixture, PmpLosesContentsWhenItsProcessDies) {
   // The prototype gives "all of the performance characteristics of a
   // hardware NPMU except for the non-volatility" (§4.2).
