@@ -1,0 +1,94 @@
+// Exhaustive crash-point sweep over the PM control plane.
+//
+// The record pass enumerates every fault-injection site the canonical
+// crash-rig scenario reaches (commit co_await boundaries, RDMA write
+// completions, resilver steps, takeover hooks). Then, for every crash
+// mode, EVERY site is re-run with the crash armed there and the four
+// recovery invariants (I1-I4, workload/crash_rig.h) are checked. The
+// tests run a strided subset of this; the bench is the full matrix.
+//
+// ODS_CRASH_SWEEP_STRIDE=<n> subsamples (1 = exhaustive, the default).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "workload/crash_rig.h"
+
+namespace ods {
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+
+int Stride() {
+  if (const char* env = std::getenv("ODS_CRASH_SWEEP_STRIDE")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1;
+}
+
+int Run() {
+  const int stride = Stride();
+  workload::CrashRunResult record =
+      workload::RunCrashScenario(kSeed, workload::CrashMode::kNone,
+                                 std::nullopt);
+  if (!record.verified || !record.violations.empty()) {
+    std::printf("record pass FAILED:\n");
+    for (const auto& v : record.violations) std::printf("  %s\n", v.c_str());
+    return 1;
+  }
+  std::printf("crash-point sweep: %zu sites enumerated, seed %llu, "
+              "stride %d\n",
+              record.trace.size(),
+              static_cast<unsigned long long>(kSeed), stride);
+  bench::PrintRule();
+  std::printf("%-22s %10s %10s %12s\n", "crash mode", "runs", "violations",
+              "regions/run");
+  bench::PrintRule();
+
+  bench::BenchJson json("crash_sweep");
+  json.Set("sites", static_cast<double>(record.trace.size()));
+  std::size_t total_runs = 0;
+  std::size_t total_violations = 0;
+  for (workload::CrashMode mode : workload::SweepableCrashModes()) {
+    std::size_t runs = 0;
+    std::size_t violations = 0;
+    std::size_t regions = 0;
+    for (std::size_t i = 0; i < record.trace.size();
+         i += static_cast<std::size_t>(stride)) {
+      workload::CrashRunResult r = workload::RunCrashScenario(kSeed, mode, i);
+      ++runs;
+      regions += r.regions_checked;
+      if (!r.verified) ++violations;
+      violations += r.violations.size();
+      for (const auto& v : r.violations) {
+        std::printf("  %s @ site %zu (%s): %s\n", CrashModeName(mode), i,
+                    record.trace[i].ToString().c_str(), v.c_str());
+      }
+    }
+    std::printf("%-22s %10zu %10zu %12.1f\n", CrashModeName(mode), runs,
+                violations,
+                runs != 0 ? static_cast<double>(regions) /
+                                static_cast<double>(runs)
+                          : 0.0);
+    json.Set(std::string(CrashModeName(mode)) + "_runs",
+             static_cast<double>(runs));
+    json.Set(std::string(CrashModeName(mode)) + "_violations",
+             static_cast<double>(violations));
+    total_runs += runs;
+    total_violations += violations;
+  }
+  bench::PrintRule();
+  std::printf("%zu crash runs, %zu invariant violations\n", total_runs,
+              total_violations);
+  json.Set("total_runs", static_cast<double>(total_runs));
+  json.Set("total_violations", static_cast<double>(total_violations));
+  json.Write();
+  return total_violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ods
+
+int main() { return ods::Run(); }

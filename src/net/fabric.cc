@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "sim/fault_plan.h"
+
 namespace ods::net {
 
 using sim::SimDuration;
@@ -76,8 +78,17 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
   auto& sim = fabric_.sim();
   const FabricConfig& cfg = fabric_.config();
 
-  auto fail_after = [&](SimDuration d, Status s) {
-    sim.After(d, [done, s = std::move(s)]() mutable { done.Set(std::move(s)); });
+  // Crash-point instrumentation: every write completion — the moment the
+  // initiator learns the outcome — is an injection site. The site fires
+  // just BEFORE the future resolves, so an armed fault (process halt,
+  // device power cycle) lands when the data's durability is decided but
+  // the initiator has not yet acted on it.
+  auto fail_after = [&, target](SimDuration d, Status s) {
+    sim.After(d, [&sim, done, target, s = std::move(s)]() mutable {
+      sim::FaultPoint(sim, sim::FaultSiteKind::kRdmaWriteComplete,
+                      "write-err:ep" + std::to_string(target.value));
+      done.Set(std::move(s));
+    });
   };
 
   if (fabric_.FirstHealthyRail() < 0) {
@@ -109,6 +120,7 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
   std::vector<Leg> legs;
   legs.reserve(segments.size());
   std::uint64_t total = 0;
+  const std::uint64_t first_seg_nva = segments.empty() ? 0 : segments[0].nva;
   for (ChainSegment& seg : segments) {
     auto win = tgt->Translate(id_, seg.nva, seg.data.size(), /*for_write=*/true);
     if (!win.ok()) {
@@ -165,7 +177,16 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
   }
   if (!aborted) {
     fabric_.bytes_transferred_ += total;
-    sim.After(t + cfg.ack_latency, [done]() mutable { done.Set(OkStatus()); });
+    // Site args: {first nva, total bytes} — crash sweeps use them to spot
+    // metadata-slot writes landing on a device.
+    const std::uint64_t first_nva = first_seg_nva;
+    sim.After(t + cfg.ack_latency, [&sim, done, target, first_nva,
+                                    total]() mutable {
+      sim::FaultPoint(sim, sim::FaultSiteKind::kRdmaWriteComplete,
+                      "write-ack:ep" + std::to_string(target.value),
+                      {first_nva, total});
+      done.Set(OkStatus());
+    });
   }
   return fut;
 }

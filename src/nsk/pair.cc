@@ -1,6 +1,7 @@
 #include "nsk/pair.h"
 
 #include "common/log.h"
+#include "sim/fault_plan.h"
 
 namespace ods::nsk {
 
@@ -47,6 +48,11 @@ sim::Task<void> PairMember::RunPrimary(bool via_takeover) {
     // Fault detection + promotion work precede recovery.
     co_await Sleep(cluster().config().failure_detection_delay +
                    cluster().config().takeover_delay);
+    // Crash sweeps arm here to test double-failure: the survivor dying
+    // mid-promotion, before member-specific recovery runs.
+    sim::FaultPoint(sim(), sim::FaultSiteKind::kTakeover,
+                    "pair-takeover:" + service_name_);
+    if (!alive()) co_return;
   }
   co_await OnBecomePrimary(via_takeover);
   cluster().names().Register(service_name_, this);

@@ -91,21 +91,21 @@ Task<Result<std::uint64_t>> PmClient::Resilver() {
 
 // ----------------------------------------------------------------- region
 
-Task<void> PmRegion::ReportDeviceDown(std::uint32_t endpoint) {
+Task<bool> PmRegion::ReportDeviceDown(std::uint32_t endpoint) {
   Serializer s;
   s.PutU32(endpoint);
   auto r = co_await host_->Call(client_->pmm_service(), kPmMirrorDown,
                                 std::move(s).Take());
-  if (r.ok() && r->status.ok()) {
-    Deserializer d(r->payload);
-    std::uint32_t primary = 0, mirror = 0;
-    bool up = false;
-    if (d.GetU32(primary) && d.GetU32(mirror) && d.GetBool(up)) {
-      handle_.primary_endpoint = primary;
-      handle_.mirror_endpoint = mirror;
-      handle_.mirror_up = up;
-    }
+  if (!r.ok() || !r->status.ok()) co_return false;
+  Deserializer d(r->payload);
+  std::uint32_t primary = 0, mirror = 0;
+  bool up = false;
+  if (d.GetU32(primary) && d.GetU32(mirror) && d.GetBool(up)) {
+    handle_.primary_endpoint = primary;
+    handle_.mirror_endpoint = mirror;
+    handle_.mirror_up = up;
   }
+  co_return true;
 }
 
 Task<Status> PmRegion::ResolveMirrored(Status sp, std::optional<Status> sm_opt,
@@ -118,20 +118,27 @@ Task<Status> PmRegion::ResolveMirrored(Status sp, std::optional<Status> sm_opt,
     co_return OkStatus();
   }
   // Exactly one mirror failed with a device-level error: data is durable
-  // on the survivor. Report, refresh roles, succeed.
+  // on the survivor. Report, refresh roles, succeed — but only if the
+  // PMM durably recorded the loss. Acking on an unrecorded demotion
+  // would let a recovery resurrect the stale device as a live mirror
+  // that silently misses this write.
   const bool primary_dead = sp.code() == ErrorCode::kUnavailable;
   const bool mirror_dead = sm.code() == ErrorCode::kUnavailable;
   if (primary_dead && !mirror_dead && sm.ok() && mirror_issued) {
-    co_await ReportDeviceDown(handle_.primary_endpoint);
-    ++writes_;
-    bytes_written_ += nbytes;
-    co_return OkStatus();
+    if (co_await ReportDeviceDown(handle_.primary_endpoint)) {
+      ++writes_;
+      bytes_written_ += nbytes;
+      co_return OkStatus();
+    }
+    co_return sp;
   }
   if (mirror_dead && !primary_dead && sp.ok()) {
-    co_await ReportDeviceDown(handle_.mirror_endpoint);
-    ++writes_;
-    bytes_written_ += nbytes;
-    co_return OkStatus();
+    if (co_await ReportDeviceDown(handle_.mirror_endpoint)) {
+      ++writes_;
+      bytes_written_ += nbytes;
+      co_return OkStatus();
+    }
+    co_return sm;
   }
   co_return sp.ok() ? sm : sp;
 }
@@ -277,6 +284,7 @@ Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops) {
   Status first_error;
   bool primary_down = false;
   bool mirror_down = false;
+  bool survivor_held = false;  // some op is durable on one mirror only
   for (Legs& l : legs) {
     Status sp = co_await l.primary.Wait(*host_);
     Status sm = OkStatus();
@@ -286,12 +294,29 @@ Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops) {
     primary_down = primary_down || pd;
     mirror_down = mirror_down || md;
     if (sp.ok() && sm.ok()) continue;
-    if (pd && !md && sm.ok() && l.mirror) continue;  // survivor holds it
-    if (md && !pd && sp.ok()) continue;              // survivor holds it
+    if (pd && !md && sm.ok() && l.mirror) {  // survivor holds it
+      survivor_held = true;
+      continue;
+    }
+    if (md && !pd && sp.ok()) {  // survivor holds it
+      survivor_held = true;
+      continue;
+    }
     if (first_error.ok()) first_error = sp.ok() ? sm : sp;
   }
-  if (primary_down) co_await ReportDeviceDown(primary_ep);
-  if (mirror_down) co_await ReportDeviceDown(mirror_ep);
+  bool recorded = true;
+  if (primary_down) {
+    recorded = co_await ReportDeviceDown(primary_ep) && recorded;
+  }
+  if (mirror_down) {
+    recorded = co_await ReportDeviceDown(mirror_ep) && recorded;
+  }
+  if (survivor_held && !recorded && first_error.ok()) {
+    // Same rule as ResolveMirrored: a survivor-only op counts as durable
+    // only once the PMM has the demotion on record.
+    first_error = Status(ErrorCode::kUnavailable,
+                         "device loss not recorded by PMM");
+  }
   if (first_error.ok()) {
     ++writes_;
     bytes_written_ += total;
@@ -368,7 +393,9 @@ Task<Result<std::vector<std::byte>>> PmRegion::Read(std::uint64_t offset,
     auto r2 = co_await ep.Read(
         *host_, net::EndpointId{handle_.mirror_endpoint}, nva, len);
     if (r2.status.ok()) {
-      co_await ReportDeviceDown(handle_.primary_endpoint);
+      // Read-only failover: the data was mirror-committed, so it is
+      // valid even if the report does not get through.
+      (void)co_await ReportDeviceDown(handle_.primary_endpoint);
       co_return std::move(r2.data);
     }
     co_return r2.status;

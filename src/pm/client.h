@@ -116,8 +116,12 @@ class PmRegion {
   PmRegion(PmClient& client, nsk::NskProcess& host, RegionHandle handle)
       : client_(&client), host_(&host), handle_(std::move(handle)) {}
 
-  // Tells the PMM a device looks dead and refreshes the handle.
-  sim::Task<void> ReportDeviceDown(std::uint32_t endpoint);
+  // Tells the PMM a device looks dead and refreshes the handle. Returns
+  // true only once the PMM acknowledged, i.e. the role change is durable
+  // — a survivor-only write may be acknowledged to the application only
+  // on top of a durable demotion, or a later recovery could resurrect
+  // the stale device as a live mirror.
+  sim::Task<bool> ReportDeviceDown(std::uint32_t endpoint);
 
   // Shared completion logic for mirrored writes: both-acked success,
   // single-mirror-dead failover (report + refresh + succeed on the

@@ -53,7 +53,7 @@ PmManager::PmManager(nsk::Cluster& cluster, int cpu_index,
                      std::string volume_name)
     : PairMember(cluster, cpu_index, std::move(service_name),
                  std::move(member_name)),
-      primary_(primary), mirror_(mirror) {
+      primary_(primary), mirror_(mirror), commit_mutex_(cluster.sim()) {
   meta_.volume_name = std::move(volume_name);
   meta_.data_capacity = std::min(primary_.capacity(), mirror_.capacity());
   meta_.free_list = {FreeExtent{0, meta_.data_capacity}};
@@ -127,63 +127,104 @@ void PmManager::UnmapRegionWindow(const RegionRecord& r) {
 }
 
 Task<Status> PmManager::CommitMetadata() {
-  meta_.mirror_up = mirror_up_;
-  std::vector<std::byte> payload = meta_.Serialize();
-  // Commit order: backup first so the takeover candidate is never behind
-  // the devices; then the devices (dual-slot, alternating).
-  (void)co_await CheckpointToBackup(payload);
+  // One committer at a time: the dual-slot protocol is single-writer.
+  // The background health-change fiber (HandleMirrorDown) used to
+  // interleave with a request handler's commit at co_await points — both
+  // read the same next_slot_/next_epoch_ and raced writes to one slot,
+  // which can replace the newest valid image with a stale payload.
+  sim::SimMutex::Guard guard = co_await commit_mutex_.Acquire(*this);
+  co_return co_await CommitMetadataLocked();
+}
 
-  const std::vector<std::byte> raw =
-      EncodeSlot(MetadataSlot{next_epoch_, std::move(payload)});
-  const std::uint64_t nva = SlotNva(next_slot_);
+Task<Status> PmManager::CommitMetadataLocked() {
+  // The loop exists for mid-commit role changes: if a device fails while
+  // its slot write is in flight, the image just committed to the survivor
+  // still names the OLD roles and mirror_up=true. Returning OK there
+  // leaves a durable slot from which recovery would resurrect the dead
+  // device as a live (stale) mirror. Instead we demote in memory and go
+  // around again, persisting the demotion at the next epoch before
+  // reporting success.
+  for (;;) {
+    meta_.mirror_up = mirror_up_;
+    std::vector<std::byte> payload = meta_.Serialize();
+    co_await CrashPoint(sim::FaultSiteKind::kCommitPoint, "commit:begin",
+                        next_epoch_);
+    // Commit order: backup first so the takeover candidate is never behind
+    // the devices; then the devices (dual-slot, alternating).
+    (void)co_await CheckpointToBackup(payload);
 
-  Status primary_status(ErrorCode::kUnavailable, "not attempted");
-  if (primary_.available()) {
-    primary_status =
-        co_await cpu().endpoint().Write(*this, primary_.id(), nva, raw);
-  }
-  // NOTE: never put co_await inside a ternary — GCC 12 miscompiles the
-  // temporary lifetimes of the not-taken branch (frame corruption).
-  Status mirror_status = OkStatus();
-  if (mirror_up_) {
-    if (mirror_.available()) {
-      mirror_status =
-          co_await cpu().endpoint().Write(*this, mirror_.id(), nva, raw);
-    } else {
-      mirror_status = Status(ErrorCode::kUnavailable, "mirror down");
+    const std::vector<std::byte> raw =
+        EncodeSlot(MetadataSlot{next_epoch_, std::move(payload)});
+    const std::uint64_t nva = SlotNva(next_slot_);
+    // The slot-write intent: sweep observers check here that the target
+    // slot does not hold the device's newest valid image.
+    co_await CrashPoint(
+        sim::FaultSiteKind::kCommitPoint, "commit:pre-primary-write",
+        next_slot_, next_epoch_, primary_.id().value, mirror_.id().value,
+        mirror_up_);
+
+    Status primary_status(ErrorCode::kUnavailable, "not attempted");
+    if (primary_.available()) {
+      primary_status =
+          co_await cpu().endpoint().Write(*this, primary_.id(), nva, raw);
     }
-  }
+    co_await CrashPoint(sim::FaultSiteKind::kCommitPoint,
+                        "commit:pre-mirror-write", next_slot_, next_epoch_,
+                        primary_status.ok());
+    // NOTE: never put co_await inside a ternary — GCC 12 miscompiles the
+    // temporary lifetimes of the not-taken branch (frame corruption).
+    Status mirror_status = OkStatus();
+    if (mirror_up_) {
+      if (mirror_.available()) {
+        mirror_status =
+            co_await cpu().endpoint().Write(*this, mirror_.id(), nva, raw);
+      } else {
+        mirror_status = Status(ErrorCode::kUnavailable, "mirror down");
+      }
+    }
+    co_await CrashPoint(sim::FaultSiteKind::kCommitPoint,
+                        "commit:post-writes", next_slot_, next_epoch_,
+                        primary_status.ok(), mirror_status.ok());
 
-  if (!primary_status.ok() && mirror_up_ && mirror_status.ok()) {
-    // Primary device lost: the mirror becomes the primary.
-    std::swap(primary_, mirror_);
-    mirror_up_ = false;
-    meta_.mirror_up = false;
-    ODS_WLOG("pmm", "%s: primary NPMU failed; promoted mirror",
-             name().c_str());
-    primary_status = OkStatus();
-  } else if (!mirror_status.ok() && mirror_up_) {
-    mirror_up_ = false;
-    meta_.mirror_up = false;
-    ODS_WLOG("pmm", "%s: mirror NPMU failed; running on primary only",
-             name().c_str());
+    bool role_changed = false;
+    if (!primary_status.ok() && mirror_up_ && mirror_status.ok()) {
+      // Primary device lost: the mirror becomes the primary.
+      std::swap(primary_, mirror_);
+      mirror_up_ = false;
+      ODS_WLOG("pmm", "%s: primary NPMU failed; promoted mirror",
+               name().c_str());
+      primary_status = OkStatus();
+      role_changed = true;
+    } else if (!mirror_status.ok() && mirror_up_) {
+      mirror_up_ = false;
+      ODS_WLOG("pmm", "%s: mirror NPMU failed; running on primary only",
+               name().c_str());
+      role_changed = true;
+    }
+    if (!primary_status.ok()) {
+      // Nothing durable anywhere (both devices unreachable). Callers roll
+      // back; leave epoch/slot untouched so a retry reuses them.
+      co_return Status(ErrorCode::kDataLoss,
+                       "metadata not durable on any NPMU: " +
+                           primary_status.ToString());
+    }
+    ++next_epoch_;
+    next_slot_ ^= 1;
+    if (!role_changed) co_return OkStatus();
+    co_await CrashPoint(sim::FaultSiteKind::kCommitPoint,
+                        "commit:role-changed", next_epoch_);
   }
-  if (!primary_status.ok()) {
-    co_return Status(ErrorCode::kDataLoss,
-                     "metadata not durable on any NPMU: " +
-                         primary_status.ToString());
-  }
-  ++next_epoch_;
-  next_slot_ ^= 1;
-  co_return OkStatus();
 }
 
 Task<bool> PmManager::RecoverMetadataFromDevices() {
   // Read both slots from each reachable device; the newest valid slot
   // across devices wins, and the device holding it becomes the primary.
   std::optional<MetadataSlot> best;
-  bool best_from_mirror = false;
+  int best_which = 0;
   int best_next_slot = 0;
+  std::vector<std::byte> raw[2][2];
+  std::optional<MetadataSlot> img[2][2];
+  bool read_ok[2] = {false, false};
   for (int which = 0; which < 2; ++which) {
     PmDevice& dev = which == 0 ? primary_ : mirror_;
     if (!dev.available()) continue;
@@ -192,32 +233,79 @@ Task<bool> PmManager::RecoverMetadataFromDevices() {
     auto b = co_await cpu().endpoint().Read(*this, dev.id(), SlotNva(1),
                                             kMetadataCopyBytes);
     if (!a.status.ok() || !b.status.ok()) continue;
-    auto slot = RecoverSlots(a.data, b.data);
+    read_ok[which] = true;
+    raw[which][0] = std::move(a.data);
+    raw[which][1] = std::move(b.data);
+    img[which][0] = DecodeSlot(raw[which][0]);
+    img[which][1] = DecodeSlot(raw[which][1]);
+    auto slot = RecoverSlots(raw[which][0], raw[which][1]);
     if (slot && (!best || slot->epoch > best->epoch)) {
       best = std::move(slot);
-      best_from_mirror = (which == 1);
-      best_next_slot = NextSlotIndex(a.data, b.data);
+      best_which = which;
+      best_next_slot = NextSlotIndex(raw[which][0], raw[which][1]);
     }
   }
   if (!best) co_return false;
   auto meta = VolumeMetadata::Deserialize(best->payload);
   if (!meta) co_return false;
-  if (best_from_mirror) std::swap(primary_, mirror_);
+  // Re-sync the lagging device's slots to the winner's before any new
+  // commit runs: a crash between the two mirror writes leaves the
+  // devices' slot epochs skewed, and the shared next target slot could
+  // then be the slot holding the lagging device's ONLY newest-valid
+  // image — a torn write there would leave that device with no valid
+  // metadata at all. Older-epoch slots are cloned first so the lagging
+  // device always keeps one valid image newer than what a clone
+  // overwrites.
+  const int lag = 1 - best_which;
+  PmDevice& lag_dev = lag == 0 ? primary_ : mirror_;
+  if (read_ok[lag] && lag_dev.available()) {
+    int first = 0;
+    if (img[best_which][0] && img[best_which][1] &&
+        img[best_which][0]->epoch > img[best_which][1]->epoch) {
+      first = 1;
+    }
+    for (int k = 0; k < 2; ++k) {
+      const int slot = k == 0 ? first : 1 - first;
+      if (!img[best_which][slot]) continue;
+      if (img[lag][slot] &&
+          img[lag][slot]->epoch == img[best_which][slot]->epoch) {
+        continue;
+      }
+      (void)co_await cpu().endpoint().Write(*this, lag_dev.id(),
+                                            SlotNva(slot),
+                                            raw[best_which][slot]);
+    }
+  }
+  if (best_which == 1) std::swap(primary_, mirror_);
   meta_ = std::move(*meta);
   mirror_up_ = meta_.mirror_up && mirror_.available();
   next_epoch_ = best->epoch + 1;
   next_slot_ = best_next_slot;
+  // The deletion history died with the previous incarnation: any free
+  // extent may hold a dead region's bytes, so every future allocation
+  // must be scrubbed.
+  scrub_watermark_ = meta_.data_capacity;
   co_return true;
 }
 
 Task<void> PmManager::OnBecomePrimary(bool via_takeover) {
   const sim::SimTime t0 = sim().Now();
+  sim::FaultPoint(sim(), sim::FaultSiteKind::kTakeover, "pmm-recover:start",
+                  {via_takeover ? 1u : 0u});
   SetupMetadataWindows();
   const bool recovered = co_await RecoverMetadataFromDevices();
+  sim::FaultPoint(sim(), sim::FaultSiteKind::kTakeover, "pmm-recover:read-done",
+                  {recovered ? 1u : 0u});
   if (recovered) {
     // Reprogram the (volatile) ATT for every allocated region.
     for (const RegionRecord& r : meta_.regions) MapRegionWindow(r);
     formatted_ = true;
+    if (mirror_up_ != meta_.mirror_up) {
+      // The durable image claims a mirror we observed to be unreachable.
+      // Persist the demotion now, at a fresh epoch, so a second crash
+      // cannot recover from the stale device once it returns.
+      (void)co_await CommitMetadata();
+    }
   } else if (!formatted_) {
     // Virgin devices: format the volume.
     meta_.regions.clear();
@@ -228,8 +316,9 @@ Task<void> PmManager::OnBecomePrimary(bool via_takeover) {
     ODS_ILOG("pmm", "%s: formatted volume %s", name().c_str(),
              meta_.volume_name.c_str());
   }
-  (void)via_takeover;
   last_recovery_time_ = sim().Now() - t0;
+  sim::FaultPoint(sim(), sim::FaultSiteKind::kTakeover, "pmm-recover:done",
+                  {via_takeover ? 1u : 0u});
 }
 
 Task<void> PmManager::HandleRequest(Request req) {
@@ -295,16 +384,55 @@ Task<void> PmManager::HandleCreate(Request& req) {
     co_return;
   }
   RegionRecord rec{rname, req.from, *offset, length, std::move(acl)};
-  meta_.regions.push_back(rec);
-  Status st = co_await CommitMetadata();
+  // Scrub before the extent becomes visible: first-fit re-allocation
+  // hands out freed extents that still hold the previous region's
+  // bytes. Zeroing precedes the commit so a crash in between leaves
+  // nothing durable to roll back.
+  MapRegionWindow(rec);
+  Status st = co_await ZeroExtent(rec);
+  if (st.ok()) {
+    meta_.regions.push_back(rec);
+    st = co_await CommitMetadata();
+    if (!st.ok()) meta_.regions.pop_back();
+  }
   if (!st.ok()) {
-    meta_.regions.pop_back();
+    UnmapRegionWindow(rec);
     meta_.Release(*offset, length);
     req.Respond(st);
     co_return;
   }
-  MapRegionWindow(rec);
+  // The region is now writable, so the extent counts as dirtied from
+  // here on (a failed create leaves the space as clean as it found it:
+  // either virgin or just zeroed).
+  scrub_watermark_ = std::max(scrub_watermark_, *offset + length);
   req.Respond(OkStatus(), MakeHandle(rec).Serialize());
+}
+
+Task<Status> PmManager::ZeroExtent(const RegionRecord& r) {
+  // Only the part of the extent some earlier region ever occupied can be
+  // dirty; the rest is still factory-zero. On a fresh volume this loop
+  // issues no writes at all.
+  const std::uint64_t dirty = r.offset < scrub_watermark_
+                                  ? std::min(r.length,
+                                             scrub_watermark_ - r.offset)
+                                  : 0;
+  if (dirty == 0) co_return OkStatus();
+  constexpr std::uint64_t kChunk = 256 * 1024;
+  for (int which = 0; which < 2; ++which) {
+    if (which == 1 && !mirror_up_) continue;
+    PmDevice& dev = which == 0 ? primary_ : mirror_;
+    if (!dev.available()) {
+      co_return Status(ErrorCode::kUnavailable, "device down during scrub");
+    }
+    for (std::uint64_t off = 0; off < dirty; off += kChunk) {
+      const std::uint64_t n = std::min(kChunk, dirty - off);
+      std::vector<std::byte> zeros(n);
+      Status st = co_await cpu().endpoint().Write(
+          *this, dev.id(), kDataBase + r.offset + off, std::move(zeros));
+      if (!st.ok()) co_return st;
+    }
+  }
+  co_return OkStatus();
 }
 
 Task<void> PmManager::HandleOpen(Request& req) {
@@ -354,6 +482,16 @@ Task<void> PmManager::HandleDelete(Request& req) {
   meta_.Release(copy.offset, copy.length);
   Status st = co_await CommitMetadata();
   if (!st.ok()) {
+    // Roll back, mirroring HandleCreate: the devices still hold a durable
+    // record of the region, so the in-memory table must too. Without this
+    // a later create could re-allocate the extent and durably clobber a
+    // region whose delete the client was told FAILED.
+    if (!meta_.Reserve(copy.offset, copy.length)) {
+      ODS_ELOG("pmm", "%s: delete rollback: extent %llu+%llu no longer free",
+               name().c_str(), static_cast<unsigned long long>(copy.offset),
+               static_cast<unsigned long long>(copy.length));
+    }
+    meta_.regions.push_back(copy);
     req.Respond(st);
     co_return;
   }
@@ -382,10 +520,13 @@ Task<void> PmManager::HandleResilver(Request& req) {
 
   constexpr std::uint64_t kChunk = 256 * 1024;
   std::uint64_t copied = 0;
+  co_await CrashPoint(sim::FaultSiteKind::kResilverStep, "resilver:begin");
   for (const RegionRecord& r : meta_.regions) {
     for (std::uint64_t off = 0; off < r.length; off += kChunk) {
       const std::uint64_t n = std::min(kChunk, r.length - off);
       const std::uint64_t nva = kDataBase + r.offset + off;
+      co_await CrashPoint(sim::FaultSiteKind::kResilverStep,
+                          "resilver:chunk", nva, n);
       auto data = co_await cpu().endpoint().Read(*this, primary_.id(), nva, n);
       if (!data.status.ok()) {
         req.Respond(Status(ErrorCode::kUnavailable,
@@ -402,7 +543,34 @@ Task<void> PmManager::HandleResilver(Request& req) {
       copied += n;
     }
   }
+  // Refresh the replacement mirror's metadata slots before re-enabling
+  // it. They pre-date the outage: left stale, the next dual-slot commit
+  // can target the slot holding the mirror's only newest-valid image (the
+  // global slot parity says nothing about a device that missed epochs),
+  // and a recovery that only reaches the mirror would resurrect ancient
+  // metadata.
+  co_await CrashPoint(sim::FaultSiteKind::kResilverStep,
+                      "resilver:metadata-clone");
+  for (int slot = 0; slot < 2; ++slot) {
+    auto img = co_await cpu().endpoint().Read(
+        *this, primary_.id(), SlotNva(slot), kMetadataCopyBytes);
+    if (!img.status.ok()) {
+      req.Respond(Status(ErrorCode::kUnavailable,
+                         "resilver metadata read failed: " +
+                             img.status.ToString()));
+      co_return;
+    }
+    Status st = co_await cpu().endpoint().Write(*this, mirror_.id(),
+                                                SlotNva(slot),
+                                                std::move(img.data));
+    if (!st.ok()) {
+      req.Respond(Status(ErrorCode::kUnavailable,
+                         "resilver metadata write failed: " + st.ToString()));
+      co_return;
+    }
+  }
   mirror_up_ = true;
+  co_await CrashPoint(sim::FaultSiteKind::kResilverStep, "resilver:commit");
   Status st = co_await CommitMetadata();
   if (!st.ok()) {
     req.Respond(st);
@@ -422,25 +590,38 @@ void PmManager::HandleMirrorDown(Request& req) {
     req.Respond(Status(ErrorCode::kInvalidArgument, "bad report"));
     return;
   }
-  if (failed_endpoint == primary_.id().value) {
+  if (failed_endpoint == primary_.id().value && mirror_up_) {
     std::swap(primary_, mirror_);
     mirror_up_ = false;
     ODS_WLOG("pmm", "%s: client reported primary NPMU down; promoted mirror",
+             name().c_str());
+  } else if (failed_endpoint == primary_.id().value) {
+    // Mirror is stale (it missed writes while down): promoting it would
+    // silently serve old data. Keep the roles; the client must wait for
+    // the primary to come back.
+    ODS_WLOG("pmm",
+             "%s: primary NPMU reported down but mirror is stale; "
+             "refusing promotion",
              name().c_str());
   } else if (failed_endpoint == mirror_.id().value) {
     mirror_up_ = false;
     ODS_WLOG("pmm", "%s: client reported mirror NPMU down", name().c_str());
   }
-  // Persist the health change in the background; replying immediately
-  // keeps the client's data path unblocked.
-  SpawnFiber([](PmManager& self) -> Task<void> {
-    (void)co_await self.CommitMetadata();
-  }(*this));
-  Serializer s;
-  s.PutU32(primary_.id().value);
-  s.PutU32(mirror_.id().value);
-  s.PutBool(mirror_up_);
-  req.Respond(OkStatus(), std::move(s).Take());
+  // Persist the health change BEFORE acknowledging: the reporting client
+  // proceeds with survivor-only writes the moment it hears back, and an
+  // acked write on top of an un-durable demotion would let a later
+  // recovery resurrect the stale device as a live mirror. The commit runs
+  // in a detached fiber (serialized behind commit_mutex_) so other
+  // control-plane requests are not blocked behind it; only THIS client's
+  // reply waits.
+  SpawnFiber([](PmManager& self, Request r) -> Task<void> {
+    Status st = co_await self.CommitMetadata();
+    Serializer s;
+    s.PutU32(self.primary_.id().value);
+    s.PutU32(self.mirror_.id().value);
+    s.PutBool(self.mirror_up_);
+    r.Respond(st, std::move(s).Take());
+  }(*this, std::move(req)));
 }
 
 void PmManager::ApplyCheckpoint(std::span<const std::byte> delta) {
@@ -448,6 +629,8 @@ void PmManager::ApplyCheckpoint(std::span<const std::byte> delta) {
     meta_ = std::move(*m);
     mirror_up_ = meta_.mirror_up;
     formatted_ = true;
+    // A checkpointed image carries no deletion history either.
+    scrub_watermark_ = meta_.data_capacity;
   }
 }
 

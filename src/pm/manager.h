@@ -26,6 +26,8 @@
 #include "nsk/pair.h"
 #include "pm/metadata.h"
 #include "pm/npmu.h"
+#include "sim/fault_plan.h"
+#include "sim/sync.h"
 
 namespace ods::pm {
 
@@ -91,6 +93,7 @@ class PmManager : public nsk::PairMember {
     next_slot_ = 0;
     mirror_up_ = primary_.id() != mirror_.id();
     formatted_ = false;
+    scrub_watermark_ = 0;
   }
 
  private:
@@ -115,7 +118,37 @@ class PmManager : public nsk::PairMember {
   // Persists metadata to both mirrors (dual-slot protocol) and
   // checkpoints it to the backup. Commit order: backup first (so the
   // takeover candidate is never behind the devices), then devices.
+  // Commits are serialized behind commit_mutex_: the dual-slot protocol
+  // is single-writer, and a background health commit (HandleMirrorDown)
+  // interleaving with a request handler's commit at co_await points
+  // would double-write one slot and break the torn-write guarantee.
   sim::Task<Status> CommitMetadata();
+  sim::Task<Status> CommitMetadataLocked();
+
+  // Marks a crash-injection site inside the commit/resilver protocol and
+  // unwinds immediately if a fault action halted this process at the
+  // site (a halted CPU must not initiate further RDMA): the returned
+  // zero-sleep awaiter never suspends, but its await throws
+  // ProcessKilled for a dead process. Use as `co_await CrashPoint(...)`.
+  // Site details are variadic scalars, NOT a vector: GCC 12 cannot carry
+  // an initializer_list's backing array across a co_await in the
+  // caller's full-expression ("array used as initializer"), so the
+  // braced list must be built inside this body.
+  template <class... Args>
+  auto CrashPoint(sim::FaultSiteKind kind, const char* label, Args... args) {
+    sim::FaultPoint(sim(), kind, label,
+                    {static_cast<std::uint64_t>(args)...});
+    return Sleep(sim::SimDuration{0});
+  }
+
+  // Zeroes the previously-allocated part of a freshly allocated extent
+  // on every up-to-date mirror. A freed extent still holds the previous
+  // region's bytes; handing them to a new owner would leak data across
+  // regions (and across their ACLs). Space above scrub_watermark_ has
+  // never been allocated, so it is still in the device's factory-zero
+  // state and is skipped — a fresh volume pays nothing. The region
+  // window must already be mapped.
+  sim::Task<Status> ZeroExtent(const RegionRecord& r);
 
   // Reads & validates metadata from the devices (recovery path).
   sim::Task<bool> RecoverMetadataFromDevices();
@@ -124,11 +157,16 @@ class PmManager : public nsk::PairMember {
 
   PmDevice primary_;
   PmDevice mirror_;
+  sim::SimMutex commit_mutex_;
   VolumeMetadata meta_;
   std::uint64_t next_epoch_ = 1;
   int next_slot_ = 0;
   bool mirror_up_ = true;
   bool formatted_ = false;
+  // Volume offsets below this have belonged to some region at least once
+  // (in-memory only; recovery resets it to data_capacity because the
+  // deletion history is not recorded durably).
+  std::uint64_t scrub_watermark_ = 0;
   sim::SimDuration last_recovery_time_{0};
 };
 

@@ -108,6 +108,22 @@ void VolumeMetadata::Release(std::uint64_t offset, std::uint64_t length) {
   }
 }
 
+bool VolumeMetadata::Reserve(std::uint64_t offset, std::uint64_t length) {
+  for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+    if (offset < it->offset || offset + length > it->offset + it->length) {
+      continue;
+    }
+    const FreeExtent before{it->offset, offset - it->offset};
+    const FreeExtent after{offset + length,
+                           it->offset + it->length - (offset + length)};
+    it = free_list.erase(it);
+    if (after.length != 0) it = free_list.insert(it, after);
+    if (before.length != 0) free_list.insert(it, before);
+    return true;
+  }
+  return false;
+}
+
 std::uint64_t VolumeMetadata::FreeBytes() const noexcept {
   std::uint64_t total = 0;
   for (const FreeExtent& f : free_list) total += f.length;

@@ -59,6 +59,10 @@ struct VolumeMetadata {
   Result<std::uint64_t> Allocate(std::uint64_t length);
   // Returns an extent to the free list, coalescing neighbours.
   void Release(std::uint64_t offset, std::uint64_t length);
+  // Carves the specific extent [offset, offset+length) back out of the
+  // free list — the inverse of Release, used to roll back a delete whose
+  // metadata commit failed. Returns false if the extent is not free.
+  bool Reserve(std::uint64_t offset, std::uint64_t length);
   [[nodiscard]] std::uint64_t FreeBytes() const noexcept;
 };
 

@@ -1,0 +1,67 @@
+#include "sim/fault_plan.h"
+
+#include "sim/simulation.h"
+
+namespace ods::sim {
+
+const char* FaultSiteKindName(FaultSiteKind kind) noexcept {
+  switch (kind) {
+    case FaultSiteKind::kRdmaWriteComplete: return "rdma-write";
+    case FaultSiteKind::kCommitPoint: return "commit";
+    case FaultSiteKind::kResilverStep: return "resilver";
+    case FaultSiteKind::kTakeover: return "takeover";
+    case FaultSiteKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string FaultSite::ToString() const {
+  std::string s = FaultSiteKindName(kind);
+  s += '/';
+  s += label;
+  if (!args.empty()) {
+    s += '[';
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i != 0) s += ',';
+      s += std::to_string(args[i]);
+    }
+    s += ']';
+  }
+  return s;
+}
+
+void FaultPlan::Reached(FaultSiteKind kind, std::string label,
+                        std::vector<std::uint64_t> args) {
+  // Sites hit while an action is executing (e.g. a kill unwinds into code
+  // that completes a write) belong to the fault itself, not the schedule:
+  // recording them would make the trace depend on which index was armed
+  // and break record/sweep index correspondence.
+  if (firing_) return;
+  const std::size_t index = trace_.size();
+  trace_.push_back(FaultSite{kind, std::move(label), std::move(args)});
+  const FaultSite& site = trace_.back();
+  if (observer_) observer_(site);
+  bool fire = false;
+  if (!fired_at_.has_value() && action_) {
+    if (armed_index_.has_value() && *armed_index_ == index) fire = true;
+    if (armed_prefix_.has_value() &&
+        site.label.compare(0, armed_prefix_->size(), *armed_prefix_) == 0) {
+      fire = true;
+    }
+  }
+  if (fire) {
+    fired_at_ = index;
+    firing_ = true;
+    action_(site);
+    firing_ = false;
+  }
+}
+
+void FaultPoint(Simulation& sim, FaultSiteKind kind, std::string label,
+                std::vector<std::uint64_t> args) {
+  if (FaultPlan* plan = sim.fault_plan(); plan != nullptr) {
+    plan->Reached(kind, std::move(label), std::move(args));
+  }
+}
+
+}  // namespace ods::sim

@@ -1,0 +1,117 @@
+// Deterministic crash-point fault injection (the Membrane/pmreorder-style
+// recovery-exploration layer).
+//
+// Components that participate in crash testing mark their interesting
+// execution points with FaultPoint(sim, kind, label): every RDMA write
+// completion (net/fabric.cc), every co_await boundary in the PMM's
+// dual-slot metadata commit, each resilver step, and pair takeover
+// (pm/manager.cc, nsk/pair.cc). With no FaultPlan installed on the
+// Simulation these calls are a null-pointer test — zero cost for normal
+// runs.
+//
+// A sweep driver uses the plan in two passes:
+//   1. RECORD: run the scenario once with an unarmed plan. Every site
+//      reached is appended to trace(); because the simulation is
+//      deterministic, the same seed always yields the same trace.
+//   2. SWEEP: for each index i in [0, trace.size()), re-run the identical
+//      scenario with a plan armed at i. When the i-th site is reached the
+//      plan fires the driver-supplied action (halt the PMM primary,
+//      power-cycle an NPMU, drop both devices, ...) at exactly that
+//      execution point, then the run continues through recovery and the
+//      driver checks its invariants.
+//
+// An optional observer is invoked at every site (before any armed
+// action); sweep drivers use it to check invariants that must hold at
+// every intermediate state, e.g. that a metadata write never targets the
+// slot holding the newest valid image.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ods::sim {
+
+class Simulation;
+
+enum class FaultSiteKind : std::uint8_t {
+  kRdmaWriteComplete,  // an RDMA write future is about to resolve
+  kCommitPoint,        // a co_await boundary in PmManager::CommitMetadata
+  kResilverStep,       // a step of the mirror rebuild copy loop
+  kTakeover,           // a pair member is promoting / re-deriving truth
+  kCustom,
+};
+
+[[nodiscard]] const char* FaultSiteKindName(FaultSiteKind kind) noexcept;
+
+struct FaultSite {
+  FaultSiteKind kind = FaultSiteKind::kCustom;
+  std::string label;
+  // Site-specific detail; for kCommitPoint slot-write intents this is
+  // {slot, epoch, primary_endpoint, mirror_endpoint, mirror_up}.
+  std::vector<std::uint64_t> args;
+
+  [[nodiscard]] std::string ToString() const;
+  bool operator==(const FaultSite&) const = default;
+};
+
+class FaultPlan {
+ public:
+  using Action = std::function<void(const FaultSite&)>;
+  using Observer = std::function<void(const FaultSite&)>;
+
+  FaultPlan() = default;
+
+  // Arms the plan: when the `index`-th site (0-based, in Reached() order)
+  // fires, `action` runs once, synchronously, at that execution point.
+  void ArmAt(std::size_t index, Action action) {
+    armed_index_ = index;
+    action_ = std::move(action);
+  }
+
+  // Arms at the next site whose label starts with `prefix` at or after
+  // the current position — for targeted regression tests ("crash at the
+  // next commit:pre-primary-write").
+  void ArmAtNext(std::string prefix, Action action) {
+    armed_prefix_ = std::move(prefix);
+    action_ = std::move(action);
+  }
+
+  // Invoked at every site, before any armed action.
+  void SetObserver(Observer obs) { observer_ = std::move(obs); }
+
+  // Called from instrumented code via FaultPoint(). Records the site,
+  // notifies the observer, and fires the armed action when its site is
+  // reached.
+  void Reached(FaultSiteKind kind, std::string label,
+               std::vector<std::uint64_t> args = {});
+
+  [[nodiscard]] const std::vector<FaultSite>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] std::size_t sites_reached() const noexcept {
+    return trace_.size();
+  }
+  // Set once the armed action has run; holds the index it fired at.
+  [[nodiscard]] std::optional<std::size_t> fired_at() const noexcept {
+    return fired_at_;
+  }
+
+ private:
+  std::vector<FaultSite> trace_;
+  std::optional<std::size_t> armed_index_;
+  std::optional<std::string> armed_prefix_;
+  Action action_;
+  Observer observer_;
+  std::optional<std::size_t> fired_at_;
+  bool firing_ = false;  // re-entrancy guard: actions can cause new sites
+};
+
+// Fires a site on `sim`'s installed plan, if any. The hot-path cost with
+// no plan installed is one pointer load.
+void FaultPoint(Simulation& sim, FaultSiteKind kind, std::string label,
+                std::vector<std::uint64_t> args = {});
+
+}  // namespace ods::sim

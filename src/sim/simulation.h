@@ -18,6 +18,7 @@
 
 namespace ods::sim {
 
+class FaultPlan;
 class Process;
 
 class Simulation {
@@ -30,6 +31,11 @@ class Simulation {
 
   [[nodiscard]] SimTime Now() const noexcept { return now_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  // Crash-point fault injection (sim/fault_plan.h). Not owned; installed
+  // by sweep drivers for the lifetime of one run. Null in normal runs.
+  void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const noexcept { return fault_plan_; }
 
   // Schedules `fn` at absolute time `t` (>= Now()).
   void Schedule(SimTime t, std::function<void()> fn);
@@ -106,6 +112,7 @@ class Simulation {
   bool PopNext(Event& out, SimTime limit);
 
   SimTime now_{0};
+  FaultPlan* fault_plan_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   Rng rng_;

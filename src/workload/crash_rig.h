@@ -1,0 +1,68 @@
+// Crash-point sweep rig for the PM subsystem.
+//
+// Runs one canonical control-plane scenario (create / write / mirror
+// outage / delete / resilver / re-create) against a PMM pair with
+// mirrored NPMUs, under a FaultPlan (sim/fault_plan.h). A record pass
+// enumerates every injection site the scenario reaches; sweep passes
+// re-run the identical scenario with a crash armed at one site and check
+// the recovery invariants:
+//
+//   I1  metadata epoch monotonicity — an acked metadata-slot write on a
+//       device always carries a strictly higher epoch than every image
+//       previously acked on that device;
+//   I2  slot alternation — a metadata commit never targets the slot
+//       holding a device's newest valid image;
+//   I3  mirror consistency — when the surviving metadata claims
+//       mirror_up, both devices hold identical bytes for every region;
+//   I4  no acked operation is lost — regions whose create/delete/write
+//       was acknowledged to the client survive recovery with the
+//       latest acknowledged contents.
+//
+// I1/I2 are checked continuously by the plan observer (they must hold at
+// every intermediate state); I3/I4 by a fresh verifier client after
+// recovery completes plus a direct scrub of device memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fault_plan.h"
+
+namespace ods::workload {
+
+// What the armed fault does when its site fires.
+enum class CrashMode {
+  kNone,               // record pass: nothing armed
+  kHaltPrimaryPmm,     // halt the primary PMM; it returns later as backup
+  kDualDeviceOutage,   // both NPMUs unreachable for 10ms (transient)
+  kFailPrimaryDevice,  // volume-primary NPMU dies, returns repaired; the
+                       // PMM primary is then halted (double failure)
+  kPowerLoss,          // PMMs die, NPMU ATTs wiped; memory survives
+};
+
+[[nodiscard]] const char* CrashModeName(CrashMode mode) noexcept;
+
+// All sweepable modes (everything but kNone).
+[[nodiscard]] const std::vector<CrashMode>& SweepableCrashModes();
+
+struct CrashRunResult {
+  // Sites reached this run, in order (the record trace when no crash was
+  // armed; diverges after the fired site otherwise).
+  std::vector<sim::FaultSite> trace;
+  std::optional<std::size_t> fired_at;
+  // Empty means every invariant held.
+  std::vector<std::string> violations;
+  // True once the post-recovery verifier reached the PMM and finished.
+  bool verified = false;
+  std::size_t regions_checked = 0;
+};
+
+// Runs the scenario once. `crash_index == nullopt` (or mode kNone) is a
+// record pass. The simulation is deterministic: the same (seed, mode,
+// crash_index) always produces the same result.
+CrashRunResult RunCrashScenario(std::uint64_t seed, CrashMode mode,
+                                std::optional<std::size_t> crash_index);
+
+}  // namespace ods::workload
