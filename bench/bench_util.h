@@ -8,35 +8,58 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 #include "workload/hot_stock.h"
 #include "workload/rig.h"
 
 namespace ods::bench {
 
-// Collects metrics for one benchmark binary and writes them as a flat
-// {"metric": number} object to BENCH_<name>.json in the working
-// directory, so the perf trajectory can be diffed across commits.
+// Collects results for one benchmark binary and writes them as a proper
+// JSON document (nested objects, escaped keys — JsonValue, not ad-hoc
+// fprintf) to BENCH_<name>.json in the working directory, so the perf
+// trajectory can be diffed across commits. Top-level shape:
+//   { "bench": "<name>", <scalar metrics...>,
+//     "<prefix>": {"mean_us":..,"p50_us":..,"p99_us":..,"count":..},
+//     "metrics": {<registry snapshot>} }
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
-
-  void Set(const std::string& key, double value) {
-    entries_.emplace_back(key, value);
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), root_(JsonValue::Object()) {
+    root_.Set("bench", name_);
   }
 
-  // Standard latency triple (microseconds) under `prefix`.
+  void Set(const std::string& key, double value) { root_.Set(key, value); }
+  // Arbitrary (possibly nested) value at a top-level key.
+  void Set(const std::string& key, JsonValue value) {
+    root_.Set(key, std::move(value));
+  }
+
+  // Standard latency summary, nested under `prefix`.
   void SetLatency(const std::string& prefix, const LatencyHistogram& h) {
-    Set(prefix + "_mean_us", h.mean() / 1e3);
-    Set(prefix + "_p50_us", static_cast<double>(h.Percentile(0.5)) / 1e3);
-    Set(prefix + "_p99_us", static_cast<double>(h.Percentile(0.99)) / 1e3);
+    JsonValue& o = Nested(prefix);
+    o.Set("count", h.count());
+    o.Set("mean_us", h.mean() / 1e3);
+    o.Set("p50_us", static_cast<double>(h.Percentile(0.5)) / 1e3);
+    o.Set("p99_us", static_cast<double>(h.Percentile(0.99)) / 1e3);
   }
 
-  // Throughput derived from a latency histogram of back-to-back ops.
+  // Throughput derived from a latency histogram of back-to-back ops,
+  // nested under the same `prefix` as SetLatency.
   void SetOpsPerSec(const std::string& prefix, const LatencyHistogram& h) {
     const double mean_ns = h.mean();
-    Set(prefix + "_ops_per_sec", mean_ns > 0 ? 1e9 / mean_ns : 0.0);
+    Nested(prefix).Set("ops_per_sec", mean_ns > 0 ? 1e9 / mean_ns : 0.0);
   }
+
+  // Attaches a full registry snapshot under "metrics".
+  void AttachMetrics(const MetricsRegistry& registry) {
+    root_.Set("metrics", registry.Snapshot());
+  }
+
+  // Mutable access for callers building richer structures (arrays of
+  // per-configuration rows, etc.).
+  [[nodiscard]] JsonValue& root() noexcept { return root_; }
 
   bool Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -45,20 +68,24 @@ class BenchJson {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n");
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(f, "  \"%s\": %.6g%s\n", entries_[i].first.c_str(),
-                   entries_[i].second, i + 1 < entries_.size() ? "," : "");
-    }
-    std::fprintf(f, "}\n");
+    const std::string text = root_.Serialize(/*indent=*/2);
+    std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
     return true;
   }
 
  private:
+  JsonValue& Nested(const std::string& key) {
+    if (JsonValue* v = root_.FindMutable(key); v != nullptr && v->is_object()) {
+      return *v;
+    }
+    root_.Set(key, JsonValue::Object());
+    return *root_.FindMutable(key);
+  }
+
   std::string name_;
-  std::vector<std::pair<std::string, double>> entries_;
+  JsonValue root_;
 };
 
 // The paper inserts 32000 records per driver. The default here is 1/4

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/trace.h"
 #include "workload/sweep.h"
 
 using namespace ods;
@@ -47,5 +48,41 @@ int main() {
               disk_drop, pm_drop);
   std::printf("paper: disk needs boxcarring to maintain throughput; PM does "
               "not.\n");
+
+  bench::BenchJson json("boxcar_sweep");
+  JsonValue rows = JsonValue::Array();
+  for (int i = 0; i < kN; ++i) {
+    JsonValue row = JsonValue::Object();
+    row.Set("boxcar", boxcars[i]);
+    row.Set("no_pm_rec_per_sec", tput[i][0]);
+    row.Set("pm_rec_per_sec", tput[i][1]);
+    row.Set("pm_advantage", tput[i][0] > 0 ? tput[i][1] / tput[i][0] : 0.0);
+    rows.Append(std::move(row));
+  }
+  json.Set("rows", std::move(rows));
+
+  // One small traced PM run on top of the sweep: the exported Chrome
+  // trace follows each boxcar commit end to end (workload -> TMF -> ADP
+  // -> PM client -> fabric) by txn op-id, and the registry snapshot rides
+  // the bench JSON.
+  {
+    sim::Simulation sim(3);
+    Tracer tracer;
+    tracer.Enable();
+    sim.set_tracer(&tracer);
+    workload::Rig rig(sim, PaperRig(/*pm=*/true));
+    sim.RunFor(sim::Seconds(1));
+    auto hs = PaperWorkload(/*drivers=*/2, /*boxcar=*/8);
+    hs.records_per_driver = 200;
+    (void)workload::RunHotStock(rig, hs);
+    json.AttachMetrics(sim.metrics());
+    if (tracer.WriteChromeJson("TRACE_boxcar_sweep.json")) {
+      std::printf("wrote TRACE_boxcar_sweep.json (%zu events, %llu dropped)\n",
+                  tracer.size(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    }
+    sim.set_tracer(nullptr);
+  }
+  json.Write();
   return 0;
 }

@@ -66,6 +66,17 @@ int Run() {
         std::printf("  %s @ site %zu (%s): %s\n", CrashModeName(mode), i,
                     record.trace[i].ToString().c_str(), v.c_str());
       }
+      if (!r.violations.empty() && !r.trace_json.empty()) {
+        // Post-mortem: the run's bounded span ring, Perfetto-loadable.
+        const std::string path = "CRASH_TRACE_" +
+                                 std::string(CrashModeName(mode)) + "_" +
+                                 std::to_string(i) + ".json";
+        if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+          std::fwrite(r.trace_json.data(), 1, r.trace_json.size(), f);
+          std::fclose(f);
+          std::printf("  trace dumped to %s\n", path.c_str());
+        }
+      }
     }
     std::printf("%-22s %10zu %10zu %12.1f\n", CrashModeName(mode), runs,
                 violations,

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "bench/bench_util.h"
+#include "common/trace.h"
 #include "nsk/cluster.h"
 #include "pm/client.h"
 #include "pm/manager.h"
@@ -45,6 +46,9 @@ struct Row {
 
 int main() {
   sim::Simulation sim(7);
+  Tracer tracer;
+  tracer.Enable();
+  sim.set_tracer(&tracer);
   nsk::ClusterConfig ccfg;
   ccfg.num_cpus = 4;
   nsk::Cluster cluster(sim, ccfg);
@@ -142,5 +146,23 @@ int main() {
   PrintRule(52);
   std::printf("paper: storage stack = 100s of us to ms; PM = 10s of us;\n"
               "ServerNet software latency 10-20us.\n");
+
+  bench::BenchJson json("micro_latency");
+  JsonValue table = JsonValue::Array();
+  for (const Row& r : rows) {
+    JsonValue row = JsonValue::Object();
+    row.Set("op", r.op);
+    row.Set("bytes", r.bytes);
+    row.Set("latency_us", r.us);
+    table.Append(std::move(row));
+  }
+  json.Set("rows", std::move(table));
+  json.AttachMetrics(sim.metrics());
+  json.Write();
+  if (tracer.WriteChromeJson("TRACE_micro_latency.json")) {
+    std::printf("wrote TRACE_micro_latency.json (%zu events)\n",
+                tracer.size());
+  }
+  sim.set_tracer(nullptr);
   return 0;
 }

@@ -1,0 +1,112 @@
+// Minimal JSON document model shared by the observability exports
+// (metrics snapshots, bench emitters, trace files): an ordered
+// build-and-serialize value plus a strict recursive-descent parser used
+// by the round-trip tests and tooling. Insertion order is preserved on
+// objects so every export is byte-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ods {
+
+// Escapes `s` for embedding inside a JSON string literal (quotes,
+// backslashes, control characters; UTF-8 passes through untouched).
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() noexcept : kind_(Kind::kNull) {}
+  JsonValue(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  JsonValue(double n) noexcept : kind_(Kind::kNumber), num_(n) {}  // NOLINT
+  JsonValue(std::int64_t n) noexcept  // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}
+  JsonValue(std::uint64_t n) noexcept  // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}
+  JsonValue(int n) noexcept : kind_(Kind::kNumber), num_(n) {}  // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}  // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+
+  [[nodiscard]] static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  [[nodiscard]] static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+
+  [[nodiscard]] bool boolean() const noexcept { return bool_; }
+  [[nodiscard]] double number() const noexcept { return num_; }
+  [[nodiscard]] const std::string& str() const noexcept { return str_; }
+
+  // Object: appends (or replaces, by key) a member. Returns *this for
+  // chaining. Undefined on non-objects (asserts in debug).
+  JsonValue& Set(std::string key, JsonValue value);
+  // Array: appends an element.
+  JsonValue& Append(JsonValue value);
+
+  // Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const noexcept;
+  [[nodiscard]] JsonValue* FindMutable(std::string_view key) noexcept;
+
+  // Array/object size.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return kind_ == Kind::kArray ? items_.size()
+           : kind_ == Kind::kObject ? members_.size()
+                                    : 0;
+  }
+  [[nodiscard]] const JsonValue& at(std::size_t i) const noexcept {
+    return items_[i];
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  // Serializes deterministically. indent < 0: compact one-line form;
+  // otherwise pretty-printed with `indent` spaces per level.
+  [[nodiscard]] std::string Serialize(int indent = -1) const;
+
+  // Strict parse of a complete JSON document (trailing garbage rejected).
+  // nullopt on any syntax error.
+  [[nodiscard]] static std::optional<JsonValue> Parse(std::string_view text);
+
+ private:
+  void SerializeTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+// Formats a double the way every exporter in this repo does: integers
+// (within 2^53) print without a decimal point, everything else as %.10g.
+// Shared so bench JSON and metrics snapshots agree byte-for-byte.
+[[nodiscard]] std::string JsonNumber(double v);
+
+}  // namespace ods

@@ -1,0 +1,128 @@
+#include "common/trace.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace ods {
+
+namespace {
+
+const char* LaneName(TraceLane lane) noexcept {
+  switch (lane) {
+    case TraceLane::kWorkload: return "workload";
+    case TraceLane::kTmf: return "tmf";
+    case TraceLane::kAdp: return "adp";
+    case TraceLane::kPmClient: return "pm_client";
+    case TraceLane::kFabric: return "fabric";
+    case TraceLane::kPmm: return "pmm";
+  }
+  return "unknown";
+}
+
+// Chrome trace timestamps are microseconds; we carry nanoseconds, so
+// emit "<us>.<ns-remainder>" with integer math only (no double
+// formatting that could vary across libc versions).
+void AppendMicros(std::string& out, std::int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+void Tracer::Enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, TraceEvent{});
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+  enabled_ = true;
+}
+
+void Tracer::Clear() noexcept {
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out;
+  out.reserve(128 + size() * 120);
+  out += "{\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"ods\"}}";
+  for (const TraceLane lane :
+       {TraceLane::kWorkload, TraceLane::kTmf, TraceLane::kAdp,
+        TraceLane::kPmClient, TraceLane::kFabric, TraceLane::kPmm}) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    AppendU64(out, static_cast<std::uint64_t>(lane));
+    out += ",\"args\":{\"name\":\"";
+    out += LaneName(lane);
+    out += "\"}}";
+  }
+  ForEach([&out](const TraceEvent& ev) {
+    out += ",\n{\"name\":\"";
+    out += JsonEscape(ev.name != nullptr ? ev.name : "");
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(ev.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    AppendU64(out, static_cast<std::uint64_t>(ev.lane));
+    out += ",\"ts\":";
+    AppendMicros(out, ev.ts_ns);
+    if (ev.phase == TracePhase::kComplete) {
+      out += ",\"dur\":";
+      AppendMicros(out, ev.dur_ns);
+    }
+    if (ev.phase == TracePhase::kAsyncBegin ||
+        ev.phase == TracePhase::kAsyncEnd) {
+      out += ",\"cat\":\"op\",\"id\":";
+      AppendU64(out, ev.op_id);
+    }
+    if (ev.phase == TracePhase::kInstant) out += ",\"s\":\"t\"";
+    const bool has_args = ev.op_id != 0 || ev.arg_key[0] != nullptr;
+    if (has_args) {
+      out += ",\"args\":{";
+      bool first = true;
+      if (ev.op_id != 0) {
+        out += "\"op\":";
+        AppendU64(out, ev.op_id);
+        first = false;
+      }
+      for (int i = 0; i < 2; ++i) {
+        if (ev.arg_key[i] == nullptr) continue;
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += JsonEscape(ev.arg_key[i]);
+        out += "\":";
+        AppendU64(out, ev.arg_val[i]);
+      }
+      out += '}';
+    }
+    out += '}';
+  });
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToChromeJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (written != json.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace ods

@@ -1,0 +1,153 @@
+// Deterministic span tracer for the durable-write path. Records POD
+// events into a preallocated ring buffer and exports Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Determinism contract: timestamps are caller-supplied simulation-clock
+// nanoseconds (sim.Now().ns), event names and argument keys must be
+// string literals (static storage; the tracer stores the pointers), and
+// the exporter formats with integer math only — so two identical seeded
+// runs produce byte-identical trace files. The export doubles as a
+// regression net for accidental nondeterminism in sim/ or net/.
+//
+// Cost contract: a disabled tracer costs one branch per call site and
+// performs zero allocations; all storage is reserved up front in
+// Enable(). When the ring wraps, the oldest events are overwritten
+// (dropped() counts them) so a crash dump always holds the most recent
+// window.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ods {
+
+// One lane per instrumented component; becomes the Chrome "tid" so each
+// layer of the write path renders as its own track.
+enum class TraceLane : std::int32_t {
+  kWorkload = 1,
+  kTmf = 2,
+  kAdp = 3,
+  kPmClient = 4,
+  kFabric = 5,
+  kPmm = 6,
+};
+
+// Chrome trace-event phases we emit.
+enum class TracePhase : char {
+  kComplete = 'X',    // span with duration
+  kInstant = 'i',     // point event
+  kAsyncBegin = 'b',  // start of an op-id-keyed async span
+  kAsyncEnd = 'e',    // end of an op-id-keyed async span
+};
+
+struct TraceEvent {
+  const char* name;  // string literal
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;  // kComplete only
+  std::uint64_t op_id;  // 0 = none; async phases require nonzero
+  TraceLane lane;
+  TracePhase phase;
+  // Up to two integer arguments; keys are string literals, nullptr = unused.
+  const char* arg_key[2];
+  std::uint64_t arg_val[2];
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Preallocates a ring of `capacity` events and starts recording.
+  void Enable(std::size_t capacity = 1 << 16);
+  void Disable() noexcept { enabled_ = false; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // Span covering [start_ns, end_ns].
+  void Complete(TraceLane lane, const char* name, std::int64_t start_ns,
+                std::int64_t end_ns, std::uint64_t op_id = 0) noexcept {
+    if (!enabled_) return;
+    Push({name, start_ns, end_ns - start_ns, op_id, lane,
+          TracePhase::kComplete, {nullptr, nullptr}, {0, 0}});
+  }
+  void Complete(TraceLane lane, const char* name, std::int64_t start_ns,
+                std::int64_t end_ns, std::uint64_t op_id, const char* k0,
+                std::uint64_t v0, const char* k1 = nullptr,
+                std::uint64_t v1 = 0) noexcept {
+    if (!enabled_) return;
+    Push({name, start_ns, end_ns - start_ns, op_id, lane,
+          TracePhase::kComplete, {k0, k1}, {v0, v1}});
+  }
+
+  void Instant(TraceLane lane, const char* name, std::int64_t ts_ns,
+               std::uint64_t op_id = 0, const char* k0 = nullptr,
+               std::uint64_t v0 = 0, const char* k1 = nullptr,
+               std::uint64_t v1 = 0) noexcept {
+    if (!enabled_) return;
+    Push({name, ts_ns, 0, op_id, lane, TracePhase::kInstant, {k0, k1},
+          {v0, v1}});
+  }
+
+  // Async span keyed by op_id: begin/end may land on different lanes and
+  // interleave freely with other op-ids. Perfetto joins them by id.
+  void AsyncBegin(TraceLane lane, const char* name, std::int64_t ts_ns,
+                  std::uint64_t op_id, const char* k0 = nullptr,
+                  std::uint64_t v0 = 0) noexcept {
+    if (!enabled_) return;
+    Push({name, ts_ns, 0, op_id, lane, TracePhase::kAsyncBegin,
+          {k0, nullptr}, {v0, 0}});
+  }
+  void AsyncEnd(TraceLane lane, const char* name, std::int64_t ts_ns,
+                std::uint64_t op_id, const char* k0 = nullptr,
+                std::uint64_t v0 = 0) noexcept {
+    if (!enabled_) return;
+    Push({name, ts_ns, 0, op_id, lane, TracePhase::kAsyncEnd, {k0, nullptr},
+          {v0, 0}});
+  }
+
+  // Number of recorded events currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return wrapped_ ? ring_.size() : next_;
+  }
+  // Events overwritten after the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  // Visits events oldest-first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const std::size_t n = size();
+    const std::size_t start = wrapped_ ? next_ : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(ring_[(start + i) % ring_.size()]);
+    }
+  }
+
+  // Chrome trace-event JSON ({"traceEvents":[...]}), one event per line,
+  // lane-name metadata first, then events oldest-first. Byte-
+  // deterministic for identical event sequences.
+  [[nodiscard]] std::string ToChromeJson() const;
+  // Returns false on I/O error.
+  bool WriteChromeJson(const std::string& path) const;
+
+  // Drops all recorded events; stays enabled with the same capacity.
+  void Clear() noexcept;
+
+ private:
+  void Push(const TraceEvent& ev) noexcept {
+    if (wrapped_) ++dropped_;  // this write overwrites the oldest event
+    ring_[next_] = ev;
+    if (++next_ == ring_.size()) {
+      next_ = 0;
+      wrapped_ = true;
+    }
+  }
+
+  bool enabled_ = false;
+  bool wrapped_ = false;
+  std::size_t next_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+}  // namespace ods

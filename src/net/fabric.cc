@@ -65,14 +65,16 @@ Result<AttWindow*> Endpoint::Translate(EndpointId initiator, std::uint64_t nva,
 }
 
 sim::Future<Status> Endpoint::StartWrite(EndpointId target, std::uint64_t nva,
-                                         std::vector<std::byte> data) {
+                                         std::vector<std::byte> data,
+                                         std::uint64_t op_id) {
   std::vector<ChainSegment> segments;
   segments.push_back(ChainSegment{nva, std::move(data)});
-  return StartWriteChain(target, std::move(segments));
+  return StartWriteChain(target, std::move(segments), op_id);
 }
 
 sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
-                                              std::vector<ChainSegment> segments) {
+                                              std::vector<ChainSegment> segments,
+                                              std::uint64_t op_id) {
   sim::Promise<Status> done(fabric_.sim());
   auto fut = done.GetFuture();
   auto& sim = fabric_.sim();
@@ -146,6 +148,11 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
   for (const Leg& leg : legs) wire = wire + fabric_.TransferTime(leg.payload->size());
   tgt->link_busy_until_ = link_free + wire;
   SimDuration t = (link_free - now) + cfg.software_latency;
+  const int rail = fabric_.PickRail();
+  Counter* rail_counter =
+      rail >= 0 ? fabric_.rail_packets_[static_cast<std::size_t>(rail)]
+                : nullptr;
+  fabric_.rdma_write_ops_++;
   bool aborted = false;
   for (const Leg& leg : legs) {
     const std::uint64_t len = leg.payload->size();
@@ -155,6 +162,8 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
            sim::FromSecondsD(static_cast<double>(chunk) /
                              cfg.bandwidth_bytes_per_sec);
       fabric_.packets_sent_++;
+      fabric_.write_packets_++;
+      if (rail_counter != nullptr) rail_counter->Increment();
       if (sim.rng().Bernoulli(fabric_.corruption_rate_)) {
         // The receiving NIC's CRC check rejects this packet: nothing lands,
         // the initiator sees a failed transfer. Earlier packets have
@@ -188,12 +197,22 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
       done.Set(OkStatus());
     });
   }
+  // Span covering initiation to final ack. Everything is known at post
+  // time (discrete-event model), so recording here keeps event order —
+  // and therefore the exported bytes — deterministic.
+  if (Tracer* tr = sim.tracer(); tr != nullptr && tr->enabled()) {
+    tr->Complete(TraceLane::kFabric,
+                 aborted ? "rdma.write.crc_abort" : "rdma.write", now.ns,
+                 (now + t + cfg.ack_latency).ns, op_id, "bytes", total, "rail",
+                 rail < 0 ? 0 : static_cast<std::uint64_t>(rail));
+  }
   return fut;
 }
 
 sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
                                             std::uint64_t nva,
-                                            std::uint64_t len) {
+                                            std::uint64_t len,
+                                            std::uint64_t op_id) {
   sim::Promise<RdmaResult> done(fabric_.sim());
   auto fut = done.GetFuture();
   auto& sim = fabric_.sim();
@@ -238,13 +257,29 @@ sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
     const SimTime link_free = std::max(now, tgt->link_busy_until_);
     tgt->link_busy_until_ = link_free + fabric_.TransferTime(len);
   }
-  sim.After(request_leg, [this, done, base, len, &sim, cfg]() mutable {
+  const int rail = fabric_.PickRail();
+  fabric_.rdma_read_ops_++;
+  const std::int64_t issued_ns = sim.Now().ns;
+  sim.After(request_leg, [this, done, base, len, &sim, cfg, rail, op_id,
+                          issued_ns]() mutable {
+    Counter* rail_counter =
+        rail >= 0 ? fabric_.rail_packets_[static_cast<std::size_t>(rail)]
+                  : nullptr;
+    auto trace_read = [&](const char* name, SimDuration tail) {
+      if (Tracer* tr = sim.tracer(); tr != nullptr && tr->enabled()) {
+        tr->Complete(TraceLane::kFabric, name, issued_ns,
+                     (sim.Now() + tail).ns, op_id, "bytes", len, "rail",
+                     rail < 0 ? 0 : static_cast<std::uint64_t>(rail));
+      }
+    };
     std::vector<std::byte> data(base, base + len);
     SimDuration t{0};
     const std::uint64_t n_packets =
         std::max<std::uint64_t>(1, (len + cfg.mtu_bytes - 1) / cfg.mtu_bytes);
     for (std::uint64_t i = 0; i < n_packets; ++i) {
       fabric_.packets_sent_++;
+      fabric_.read_packets_++;
+      if (rail_counter != nullptr) rail_counter->Increment();
       if (sim.rng().Bernoulli(fabric_.corruption_rate_)) {
         fabric_.packets_corrupted_++;
         fabric_.crc_detections_++;
@@ -257,6 +292,7 @@ sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
           done.Set(RdmaResult{
               Status(ErrorCode::kDataLoss, "response packet CRC failed"), {}});
         });
+        trace_read("rdma.read.crc_abort", t);
         return;
       }
       const std::uint64_t chunk =
@@ -266,6 +302,7 @@ sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
                              cfg.bandwidth_bytes_per_sec);
     }
     fabric_.bytes_transferred_ += len;
+    trace_read("rdma.read", t);
     sim.After(t, [done, data = std::move(data)]() mutable {
       done.Set(RdmaResult{OkStatus(), std::move(data)});
     });
@@ -275,13 +312,14 @@ sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
 
 sim::Task<Status> Endpoint::Write(sim::Process& proc, EndpointId target,
                                   std::uint64_t nva,
-                                  std::vector<std::byte> data) {
+                                  std::vector<std::byte> data,
+                                  std::uint64_t op_id) {
   // Retry once per rail on transient unavailability — models the NSK
   // message system's automatic X/Y rail failover.
   Status last;
   for (int attempt = 0; attempt < std::max(1, fabric_.config().num_rails);
        ++attempt) {
-    last = co_await StartWrite(target, nva, data).Wait(proc);
+    last = co_await StartWrite(target, nva, data, op_id).Wait(proc);
     if (last.ok() || last.code() != ErrorCode::kUnavailable) co_return last;
     if (fabric_.FirstHealthyRail() < 0) co_return last;
   }
@@ -289,11 +327,12 @@ sim::Task<Status> Endpoint::Write(sim::Process& proc, EndpointId target,
 }
 
 sim::Task<RdmaResult> Endpoint::Read(sim::Process& proc, EndpointId target,
-                                     std::uint64_t nva, std::uint64_t len) {
+                                     std::uint64_t nva, std::uint64_t len,
+                                     std::uint64_t op_id) {
   RdmaResult last;
   for (int attempt = 0; attempt < std::max(1, fabric_.config().num_rails);
        ++attempt) {
-    last = co_await StartRead(target, nva, len).Wait(proc);
+    last = co_await StartRead(target, nva, len, op_id).Wait(proc);
     if (last.status.ok() || last.status.code() != ErrorCode::kUnavailable) {
       co_return last;
     }
@@ -321,7 +360,14 @@ void Endpoint::PostMessage(EndpointId target, std::uint32_t kind,
 
 Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
     : sim_(sim), config_(config),
-      rail_up_(static_cast<std::size_t>(std::max(1, config.num_rails)), true) {}
+      rail_up_(static_cast<std::size_t>(std::max(1, config.num_rails)), true) {
+  rail_packets_.reserve(rail_up_.size());
+  for (std::size_t r = 0; r < rail_up_.size(); ++r) {
+    rail_packets_.push_back(
+        &sim_.metrics().GetCounter("fabric.rail" + std::to_string(r) +
+                                   ".packets"));
+  }
+}
 
 Endpoint& Fabric::CreateEndpoint(std::string name) {
   const EndpointId id{static_cast<std::uint32_t>(endpoints_.size())};
@@ -343,6 +389,17 @@ void Fabric::SetRailDown(int rail, bool is_down) {
 bool Fabric::RailUp(int rail) const noexcept {
   return rail >= 0 && rail < static_cast<int>(rail_up_.size()) &&
          rail_up_[static_cast<std::size_t>(rail)];
+}
+
+int Fabric::PickRail() noexcept {
+  for (std::size_t i = 0; i < rail_up_.size(); ++i) {
+    const std::size_t r = (next_rail_ + i) % rail_up_.size();
+    if (rail_up_[r]) {
+      next_rail_ = r + 1;
+      return static_cast<int>(r);
+    }
+  }
+  return -1;
 }
 
 int Fabric::FirstHealthyRail() const noexcept {

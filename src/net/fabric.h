@@ -113,8 +113,13 @@ class Endpoint {
   // The returned future resolves when the final packet is acknowledged;
   // per the paper, resolution with OK means the data arrived with a
   // correct CRC. Packets land in target memory as they arrive.
+  //
+  // `op_id` is an opaque correlation id carried into the trace stream
+  // (0 = untagged); the TP layer threads the committing transaction id
+  // down here so one commit's fabric ops can be picked out end to end.
   sim::Future<Status> StartWrite(EndpointId target, std::uint64_t nva,
-                                 std::vector<std::byte> data);
+                                 std::vector<std::byte> data,
+                                 std::uint64_t op_id = 0);
 
   // Begins a chained RDMA write: all segments are posted as ONE fabric
   // operation (a doorbell-batched work-queue chain), so the whole chain
@@ -127,17 +132,21 @@ class Endpoint {
   // segments are translated up front; a translation failure fails the
   // chain before anything lands.
   sim::Future<Status> StartWriteChain(EndpointId target,
-                                      std::vector<ChainSegment> segments);
+                                      std::vector<ChainSegment> segments,
+                                      std::uint64_t op_id = 0);
 
   // Begins an RDMA read of `len` bytes from `target` at `nva`.
   sim::Future<RdmaResult> StartRead(EndpointId target, std::uint64_t nva,
-                                    std::uint64_t len);
+                                    std::uint64_t len,
+                                    std::uint64_t op_id = 0);
 
   // Synchronous (fiber-blocking) variants with automatic rail failover.
   sim::Task<Status> Write(sim::Process& proc, EndpointId target,
-                          std::uint64_t nva, std::vector<std::byte> data);
+                          std::uint64_t nva, std::vector<std::byte> data,
+                          std::uint64_t op_id = 0);
   sim::Task<RdmaResult> Read(sim::Process& proc, EndpointId target,
-                             std::uint64_t nva, std::uint64_t len);
+                             std::uint64_t nva, std::uint64_t len,
+                             std::uint64_t op_id = 0);
 
   // ---- messaging (the NSK message system rides on the fabric) ----
 
@@ -200,6 +209,27 @@ class Fabric {
   [[nodiscard]] std::uint64_t packets_sent() const noexcept {
     return packets_sent_;
   }
+  // Packets attributed to rail `rail` (ops stripe round-robin over the
+  // healthy rails; all packets of one op ride one rail).
+  [[nodiscard]] std::uint64_t rail_packets(int rail) const noexcept {
+    return rail >= 0 && rail < static_cast<int>(rail_packets_.size())
+               ? rail_packets_[static_cast<std::size_t>(rail)]->value()
+               : 0;
+  }
+  // RDMA data operations posted (each StartWrite/StartWriteChain/
+  // StartRead that reached the wire counts once; messaging excluded).
+  [[nodiscard]] std::uint64_t rdma_write_ops() const noexcept {
+    return rdma_write_ops_;
+  }
+  [[nodiscard]] std::uint64_t rdma_read_ops() const noexcept {
+    return rdma_read_ops_;
+  }
+  [[nodiscard]] std::uint64_t write_packets() const noexcept {
+    return write_packets_;
+  }
+  [[nodiscard]] std::uint64_t read_packets() const noexcept {
+    return read_packets_;
+  }
   [[nodiscard]] std::uint64_t packets_corrupted() const noexcept {
     return packets_corrupted_;
   }
@@ -216,6 +246,10 @@ class Fabric {
  private:
   friend class Endpoint;
 
+  // Picks the rail for the next RDMA op: round-robin over healthy rails
+  // (accounting only; the timing model is rail-agnostic). -1 = none up.
+  [[nodiscard]] int PickRail() noexcept;
+
   sim::Simulation& sim_;
   FabricConfig config_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
@@ -225,6 +259,15 @@ class Fabric {
   std::uint64_t packets_corrupted_ = 0;
   std::uint64_t crc_detections_ = 0;
   std::uint64_t bytes_transferred_ = 0;
+  std::uint64_t rdma_write_ops_ = 0;
+  std::uint64_t rdma_read_ops_ = 0;
+  std::uint64_t write_packets_ = 0;
+  std::uint64_t read_packets_ = 0;
+  // Cached registry counters, one per rail ("fabric.rail<K>.packets");
+  // resolved once at construction so the per-packet path is a pointer
+  // bump, not a name lookup.
+  std::vector<Counter*> rail_packets_;
+  std::size_t next_rail_ = 0;  // round-robin cursor for PickRail
 };
 
 }  // namespace ods::net

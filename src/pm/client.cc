@@ -91,6 +91,10 @@ Task<Result<std::uint64_t>> PmClient::Resilver() {
 
 // ----------------------------------------------------------------- region
 
+sim::Simulation* PmRegion::simulation() noexcept {
+  return host_ == nullptr ? nullptr : &host_->sim();
+}
+
 Task<bool> PmRegion::ReportDeviceDown(std::uint32_t endpoint) {
   Serializer s;
   s.PutU32(endpoint);
@@ -145,23 +149,38 @@ Task<Status> PmRegion::ResolveMirrored(Status sp, std::optional<Status> sm_opt,
 
 Task<Status> PmRegion::CompleteMirrored(sim::Future<Status> fp,
                                         std::optional<sim::Future<Status>> fm,
-                                        std::uint64_t nbytes) {
+                                        std::uint64_t nbytes,
+                                        const char* span_name,
+                                        std::int64_t issued_ns,
+                                        std::uint64_t op_id) {
   Status sp = co_await fp.Wait(*host_);
   std::optional<Status> sm;
   if (fm) sm = co_await fm->Wait(*host_);
-  co_return co_await ResolveMirrored(std::move(sp), std::move(sm), nbytes);
+  Status st = co_await ResolveMirrored(std::move(sp), std::move(sm), nbytes);
+  if (Tracer* tr = host_->sim().tracer(); tr != nullptr && tr->enabled()) {
+    tr->Complete(TraceLane::kPmClient, span_name, issued_ns,
+                 host_->sim().Now().ns, op_id, "bytes", nbytes, "ok",
+                 st.ok() ? 1 : 0);
+  }
+  co_return st;
 }
 
 PmWriteToken PmRegion::LaunchMirrored(sim::Future<Status> fp,
                                       std::optional<sim::Future<Status>> fm,
-                                      std::uint64_t nbytes) {
+                                      std::uint64_t nbytes,
+                                      const char* span_name,
+                                      std::int64_t issued_ns,
+                                      std::uint64_t op_id) {
   return PmWriteToken(
       *host_, sim::SpawnTask(*host_, CompleteMirrored(std::move(fp),
-                                                      std::move(fm), nbytes)));
+                                                      std::move(fm), nbytes,
+                                                      span_name, issued_ns,
+                                                      op_id)));
 }
 
 Task<Status> PmRegion::Write(std::uint64_t offset,
-                             std::vector<std::byte> data) {
+                             std::vector<std::byte> data,
+                             std::uint64_t op_id) {
   if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
   if (offset + data.size() > handle_.length) {
     co_return Status(ErrorCode::kOutOfRange, "write beyond region");
@@ -169,24 +188,32 @@ Task<Status> PmRegion::Write(std::uint64_t offset,
   net::Endpoint& ep = host_->cpu().endpoint();
   const std::uint64_t nva = handle_.nva + offset;
   const std::uint64_t nbytes = data.size();
+  const std::int64_t issued_ns = host_->sim().Now().ns;
 
   // Issue to both mirrors in parallel; durability requires the write to
   // land on every up-to-date mirror.
   auto f_primary = ep.StartWrite(net::EndpointId{handle_.primary_endpoint},
-                                 nva, data);
+                                 nva, data, op_id);
   std::optional<sim::Future<Status>> f_mirror;
   if (handle_.mirror_up) {
     f_mirror = ep.StartWrite(net::EndpointId{handle_.mirror_endpoint}, nva,
-                             std::move(data));
+                             std::move(data), op_id);
   }
   Status sp = co_await f_primary.Wait(*host_);
   std::optional<Status> sm;
   if (f_mirror) sm = co_await f_mirror->Wait(*host_);
-  co_return co_await ResolveMirrored(std::move(sp), std::move(sm), nbytes);
+  Status st = co_await ResolveMirrored(std::move(sp), std::move(sm), nbytes);
+  if (Tracer* tr = host_->sim().tracer(); tr != nullptr && tr->enabled()) {
+    tr->Complete(TraceLane::kPmClient, "pm.write", issued_ns,
+                 host_->sim().Now().ns, op_id, "bytes", nbytes, "ok",
+                 st.ok() ? 1 : 0);
+  }
+  co_return st;
 }
 
 PmWriteToken PmRegion::WriteAsync(std::uint64_t offset,
-                                  std::vector<std::byte> data) {
+                                  std::vector<std::byte> data,
+                                  std::uint64_t op_id) {
   if (!valid()) {
     return PmWriteToken(Status(ErrorCode::kFailedPrecondition, "unbound"));
   }
@@ -196,19 +223,22 @@ PmWriteToken PmRegion::WriteAsync(std::uint64_t offset,
   net::Endpoint& ep = host_->cpu().endpoint();
   const std::uint64_t nva = handle_.nva + offset;
   const std::uint64_t nbytes = data.size();
+  const std::int64_t issued_ns = host_->sim().Now().ns;
   // Both mirror legs are on the wire before this returns; completion
   // (including failover) runs in a detached fiber behind the token.
   auto fp = ep.StartWrite(net::EndpointId{handle_.primary_endpoint}, nva,
-                          data);
+                          data, op_id);
   std::optional<sim::Future<Status>> fm;
   if (handle_.mirror_up) {
     fm = ep.StartWrite(net::EndpointId{handle_.mirror_endpoint}, nva,
-                       std::move(data));
+                       std::move(data), op_id);
   }
-  return LaunchMirrored(std::move(fp), std::move(fm), nbytes);
+  return LaunchMirrored(std::move(fp), std::move(fm), nbytes,
+                        "pm.write_async", issued_ns, op_id);
 }
 
-PmWriteToken PmRegion::WriteChainAsync(std::vector<ScatterOp> ops) {
+PmWriteToken PmRegion::WriteChainAsync(std::vector<ScatterOp> ops,
+                                       std::uint64_t op_id) {
   if (!valid()) {
     return PmWriteToken(Status(ErrorCode::kFailedPrecondition, "unbound"));
   }
@@ -225,18 +255,21 @@ PmWriteToken PmRegion::WriteChainAsync(std::vector<ScatterOp> ops) {
         net::ChainSegment{handle_.nva + op.offset, std::move(op.bytes)});
   }
   net::Endpoint& ep = host_->cpu().endpoint();
+  const std::int64_t issued_ns = host_->sim().Now().ns;
   auto fp = ep.StartWriteChain(net::EndpointId{handle_.primary_endpoint},
-                               segments);
+                               segments, op_id);
   std::optional<sim::Future<Status>> fm;
   if (handle_.mirror_up) {
     fm = ep.StartWriteChain(net::EndpointId{handle_.mirror_endpoint},
-                            std::move(segments));
+                            std::move(segments), op_id);
   }
-  return LaunchMirrored(std::move(fp), std::move(fm), nbytes);
+  return LaunchMirrored(std::move(fp), std::move(fm), nbytes,
+                        "pm.write_chain", issued_ns, op_id);
 }
 
-Task<Status> PmRegion::WriteChain(std::vector<ScatterOp> ops) {
-  co_return co_await WriteChainAsync(std::move(ops)).Wait();
+Task<Status> PmRegion::WriteChain(std::vector<ScatterOp> ops,
+                                  std::uint64_t op_id) {
+  co_return co_await WriteChainAsync(std::move(ops), op_id).Wait();
 }
 
 Task<Status> PmRegion::WriteV(std::uint64_t offset,
@@ -251,8 +284,11 @@ Task<Status> PmRegion::WriteV(std::uint64_t offset,
   co_return co_await Write(offset, std::move(flat));
 }
 
-Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops) {
+Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops,
+                                    std::uint64_t op_id) {
   if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
+  const std::int64_t issued_ns = host_->sim().Now().ns;
+  const std::uint64_t n_ops = ops.size();
   net::Endpoint& ep = host_->cpu().endpoint();
   struct Legs {
     sim::Future<Status> primary;
@@ -269,11 +305,11 @@ Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops) {
     }
     total += op.bytes.size();
     const std::uint64_t nva = handle_.nva + op.offset;
-    Legs l{ep.StartWrite(net::EndpointId{primary_ep}, nva, op.bytes),
+    Legs l{ep.StartWrite(net::EndpointId{primary_ep}, nva, op.bytes, op_id),
            std::nullopt};
     if (handle_.mirror_up) {
       l.mirror = ep.StartWrite(net::EndpointId{mirror_ep}, nva,
-                               std::move(op.bytes));
+                               std::move(op.bytes), op_id);
     }
     legs.push_back(std::move(l));
   }
@@ -321,6 +357,10 @@ Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops) {
     ++writes_;
     bytes_written_ += total;
   }
+  if (Tracer* tr = host_->sim().tracer(); tr != nullptr && tr->enabled()) {
+    tr->Complete(TraceLane::kPmClient, "pm.write_scatter", issued_ns,
+                 host_->sim().Now().ns, op_id, "bytes", total, "ops", n_ops);
+  }
   co_return first_error;
 }
 
@@ -347,13 +387,21 @@ Task<void> PmWritePipeline::IssueStaged() {
     stats_->issued.Increment();
     stats_->depth.Record(inflight_.size());
   }
-  inflight_.push_back(
-      region_->WriteAsync(staged_->offset, std::move(staged_->bytes)));
+  if (sim::Simulation* s = region_->simulation();
+      s != nullptr && s->tracer() != nullptr && s->tracer()->enabled()) {
+    s->tracer()->Instant(TraceLane::kPmClient, "pm.pipeline_issue",
+                         s->Now().ns, staged_op_id_, "depth",
+                         inflight_.size(), "bytes", staged_->bytes.size());
+  }
+  inflight_.push_back(region_->WriteAsync(
+      staged_->offset, std::move(staged_->bytes), staged_op_id_));
   staged_.reset();
+  staged_op_id_ = 0;
 }
 
 Task<Status> PmWritePipeline::Submit(std::uint64_t offset,
-                                     std::vector<std::byte> bytes) {
+                                     std::vector<std::byte> bytes,
+                                     std::uint64_t op_id) {
   if (staged_.has_value() && config_.coalesce_adjacent &&
       staged_->offset + staged_->bytes.size() == offset &&
       staged_->bytes.size() + bytes.size() <= config_.max_coalesce_bytes) {
@@ -363,6 +411,7 @@ Task<Status> PmWritePipeline::Submit(std::uint64_t offset,
   }
   if (staged_.has_value()) co_await IssueStaged();
   staged_ = PmRegion::ScatterOp{offset, std::move(bytes)};
+  staged_op_id_ = op_id;
   co_return error_;
 }
 
@@ -378,7 +427,8 @@ Task<Status> PmWritePipeline::Drain() {
 }
 
 Task<Result<std::vector<std::byte>>> PmRegion::Read(std::uint64_t offset,
-                                                    std::uint64_t len) {
+                                                    std::uint64_t len,
+                                                    std::uint64_t op_id) {
   if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
   if (offset + len > handle_.length) {
     co_return Status(ErrorCode::kOutOfRange, "read beyond region");
@@ -386,12 +436,12 @@ Task<Result<std::vector<std::byte>>> PmRegion::Read(std::uint64_t offset,
   net::Endpoint& ep = host_->cpu().endpoint();
   const std::uint64_t nva = handle_.nva + offset;
   auto r = co_await ep.Read(*host_, net::EndpointId{handle_.primary_endpoint},
-                            nva, len);
+                            nva, len, op_id);
   if (r.status.ok()) co_return std::move(r.data);
   if (r.status.code() == ErrorCode::kUnavailable && handle_.mirror_up) {
     // Fail over to the mirror and tell the PMM.
     auto r2 = co_await ep.Read(
-        *host_, net::EndpointId{handle_.mirror_endpoint}, nva, len);
+        *host_, net::EndpointId{handle_.mirror_endpoint}, nva, len, op_id);
     if (r2.status.ok()) {
       // Read-only failover: the data was mirror-committed, so it is
       // valid even if the report does not get through.

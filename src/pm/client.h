@@ -69,14 +69,20 @@ class PmRegion {
 
   // Synchronous write: mirrored to both NPMUs; returns once the data is
   // persistent (on every up-to-date mirror) or an error.
-  sim::Task<Status> Write(std::uint64_t offset, std::vector<std::byte> data);
+  //
+  // Every write/read takes a trailing `op_id` — an opaque correlation id
+  // (0 = untagged) carried into the fabric's trace stream so one commit
+  // can be followed across layers.
+  sim::Task<Status> Write(std::uint64_t offset, std::vector<std::byte> data,
+                          std::uint64_t op_id = 0);
 
   // Non-blocking write: both mirror RDMAs are issued before this returns;
   // the token resolves once both up mirrors acked (or after failover to a
   // survivor). The software latency of later writes overlaps the wire
   // time of earlier ones — the primitive under PmWritePipeline and the
   // log device's pipelined append path.
-  PmWriteToken WriteAsync(std::uint64_t offset, std::vector<std::byte> data);
+  PmWriteToken WriteAsync(std::uint64_t offset, std::vector<std::byte> data,
+                          std::uint64_t op_id = 0);
 
   // Gather variant: the segments are written back-to-back at `offset` as
   // one RDMA op per mirror (pointer-rich data without marshalling).
@@ -91,25 +97,33 @@ class PmRegion {
     std::uint64_t offset;
     std::vector<std::byte> bytes;
   };
-  sim::Task<Status> WriteScatter(std::vector<ScatterOp> ops);
+  sim::Task<Status> WriteScatter(std::vector<ScatterOp> ops,
+                                 std::uint64_t op_id = 0);
 
   // Ordered-chain variant: all segments go out as ONE chained RDMA op per
   // mirror (a single software-latency initiation). Segments land strictly
   // in order and a failure in segment k suppresses every later segment —
   // the ordering guarantee the log device relies on to piggyback its
   // control block behind the data it covers (§3.4).
-  PmWriteToken WriteChainAsync(std::vector<ScatterOp> ops);
-  sim::Task<Status> WriteChain(std::vector<ScatterOp> ops);
+  PmWriteToken WriteChainAsync(std::vector<ScatterOp> ops,
+                               std::uint64_t op_id = 0);
+  sim::Task<Status> WriteChain(std::vector<ScatterOp> ops,
+                               std::uint64_t op_id = 0);
 
   // Synchronous read from the primary mirror (failover to the other).
   sim::Task<Result<std::vector<std::byte>>> Read(std::uint64_t offset,
-                                                 std::uint64_t len);
+                                                 std::uint64_t len,
+                                                 std::uint64_t op_id = 0);
 
   // ---- accounting ----
   [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
     return bytes_written_;
   }
+
+  // Simulation of the bound host (nullptr when unbound) — lets the write
+  // pipeline reach the tracer/metrics without knowing about nsk.
+  [[nodiscard]] sim::Simulation* simulation() noexcept;
 
  private:
   friend class PmClient;
@@ -130,13 +144,19 @@ class PmRegion {
   sim::Task<Status> ResolveMirrored(Status sp, std::optional<Status> sm,
                                     std::uint64_t nbytes);
   // Fiber body behind a PmWriteToken: awaits both legs, then resolves.
+  // `span_name` must be a string literal; the completion span runs from
+  // `issued_ns` (issue time) to resolution on the pm_client trace lane.
   sim::Task<Status> CompleteMirrored(sim::Future<Status> fp,
                                      std::optional<sim::Future<Status>> fm,
-                                     std::uint64_t nbytes);
+                                     std::uint64_t nbytes,
+                                     const char* span_name,
+                                     std::int64_t issued_ns,
+                                     std::uint64_t op_id);
   // Wraps the completion fiber for issued mirror legs into a token.
   PmWriteToken LaunchMirrored(sim::Future<Status> fp,
                               std::optional<sim::Future<Status>> fm,
-                              std::uint64_t nbytes);
+                              std::uint64_t nbytes, const char* span_name,
+                              std::int64_t issued_ns, std::uint64_t op_id);
 
   PmClient* client_ = nullptr;
   nsk::NskProcess* host_ = nullptr;
@@ -165,8 +185,10 @@ class PmWritePipeline {
       : region_(&region), config_(config), stats_(stats) {}
 
   // Queues a write of `bytes` at `offset`. Blocks only for backpressure
-  // (queue at depth), never for durability.
-  sim::Task<Status> Submit(std::uint64_t offset, std::vector<std::byte> bytes);
+  // (queue at depth), never for durability. `op_id` tags the staged
+  // fabric op for tracing; a coalesced submit keeps the first op's tag.
+  sim::Task<Status> Submit(std::uint64_t offset, std::vector<std::byte> bytes,
+                           std::uint64_t op_id = 0);
 
   // Barrier: everything submitted before this call is durable (or failed)
   // when it resolves. Clears the sticky error it returns.
@@ -184,6 +206,7 @@ class PmWritePipeline {
   Config config_;
   PipelineStats* stats_;
   std::optional<PmRegion::ScatterOp> staged_;
+  std::uint64_t staged_op_id_ = 0;  // trace tag of the staged op
   std::deque<PmWriteToken> inflight_;
   Status error_;  // first failure since the last Drain
 };

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/serialize.h"
+#include "common/trace.h"
 
 namespace ods::pm {
 
@@ -133,7 +134,15 @@ Task<Status> PmManager::CommitMetadata() {
   // read the same next_slot_/next_epoch_ and raced writes to one slot,
   // which can replace the newest valid image with a stale payload.
   sim::SimMutex::Guard guard = co_await commit_mutex_.Acquire(*this);
-  co_return co_await CommitMetadataLocked();
+  const sim::SimTime t0 = sim().Now();
+  const std::uint64_t epoch = next_epoch_;
+  Status st = co_await CommitMetadataLocked();
+  if (Tracer* tr = sim().tracer(); tr != nullptr && tr->enabled()) {
+    tr->Complete(TraceLane::kPmm, "pmm.commit_metadata", t0.ns, sim().Now().ns,
+                 /*op_id=*/0, "epoch", epoch, "ok", st.ok() ? 1 : 0);
+  }
+  sim().metrics().GetCounter("pmm.metadata_commits").Increment();
+  co_return st;
 }
 
 Task<Status> PmManager::CommitMetadataLocked() {
@@ -520,6 +529,7 @@ Task<void> PmManager::HandleResilver(Request& req) {
 
   constexpr std::uint64_t kChunk = 256 * 1024;
   std::uint64_t copied = 0;
+  const sim::SimTime resilver_start = sim().Now();
   co_await CrashPoint(sim::FaultSiteKind::kResilverStep, "resilver:begin");
   for (const RegionRecord& r : meta_.regions) {
     for (std::uint64_t off = 0; off < r.length; off += kChunk) {
@@ -578,6 +588,11 @@ Task<void> PmManager::HandleResilver(Request& req) {
   }
   ODS_ILOG("pmm", "%s: resilvered mirror (%llu bytes)", name().c_str(),
            static_cast<unsigned long long>(copied));
+  if (Tracer* tr = sim().tracer(); tr != nullptr && tr->enabled()) {
+    tr->Complete(TraceLane::kPmm, "pmm.resilver", resilver_start.ns,
+                 sim().Now().ns, /*op_id=*/0, "bytes", copied);
+  }
+  sim().metrics().GetCounter("pmm.resilvers").Increment();
   Serializer s;
   s.PutU64(copied);
   req.Respond(OkStatus(), std::move(s).Take());

@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sim/time.h"
 #include "sim/wait_state.h"
 
@@ -36,6 +38,19 @@ class Simulation {
   // by sweep drivers for the lifetime of one run. Null in normal runs.
   void set_fault_plan(FaultPlan* plan) noexcept { fault_plan_ = plan; }
   [[nodiscard]] FaultPlan* fault_plan() const noexcept { return fault_plan_; }
+
+  // Span tracer (common/trace.h). Not owned; installed by rigs/benches
+  // for the lifetime of one run, like the fault plan. Null (the common
+  // case) means instrumented code pays one pointer load per site.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
+
+  // Per-run metrics registry; instrumented components register
+  // counters/histograms lazily and cache the returned references.
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
 
   // Schedules `fn` at absolute time `t` (>= Now()).
   void Schedule(SimTime t, std::function<void()> fn);
@@ -113,6 +128,8 @@ class Simulation {
 
   SimTime now_{0};
   FaultPlan* fault_plan_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry metrics_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   Rng rng_;

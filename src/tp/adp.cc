@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/serialize.h"
+#include "common/trace.h"
 #include "tp/kinds.h"
 
 namespace ods::tp {
@@ -78,7 +79,8 @@ Task<void> AdpProcess::OnBecomePrimary(bool via_takeover) {
   last_recovery_time_ = sim().Now() - t0;
 }
 
-Task<Status> AdpProcess::BufferRecords(std::span<const std::byte> payload) {
+Task<Status> AdpProcess::BufferRecords(std::span<const std::byte> payload,
+                                       std::uint64_t* last_txn) {
   // Payload: sequence of length-prefixed serialized AuditRecords
   // (lsn unassigned).
   Deserializer d(payload);
@@ -95,6 +97,7 @@ Task<Status> AdpProcess::BufferRecords(std::span<const std::byte> payload) {
     auto rec = AuditRecord::Deserialize(rec_bytes);
     if (!rec) co_return Status(ErrorCode::kInvalidArgument, "bad record");
     rec->lsn = next_lsn_++;
+    if (last_txn != nullptr) *last_txn = rec->txn;
     FrameRecord(*rec, framed);
     ++records_buffered_;
   }
@@ -166,9 +169,15 @@ Task<void> AdpProcess::FlushLoop() {
     std::vector<std::byte> batch = std::move(buffer_);
     buffer_.clear();
     const std::uint64_t target = durable_tail_ + batch.size();
+    // The flush is tagged with the op-id of the request that triggered it
+    // (the front waiter); riders are still traceable via their own
+    // adp.flush async spans.
+    const std::uint64_t flush_op =
+        flush_waiters_.empty() ? 0 : flush_waiters_.front().op_id;
     Status st = OkStatus();
     if (!batch.empty()) {
       const std::size_t batch_size = batch.size();
+      const sim::SimTime io_start = sim().Now();
       // Overlap the device append with the checkpoint to the backup: both
       // must complete before any waiter is acknowledged (§1.3), but
       // neither orders against the other. The checkpoint is an INTENT —
@@ -182,8 +191,8 @@ Task<void> AdpProcess::FlushLoop() {
       ckpt.PutU8(kCkptFlush);
       ckpt.PutU64(confirmed);
       ckpt.PutU64(target);
-      auto append_done =
-          sim::SpawnTask(*this, device_->Append(*this, std::move(batch)));
+      auto append_done = sim::SpawnTask(
+          *this, device_->Append(*this, std::move(batch), flush_op));
       auto ckpt_done =
           sim::SpawnTask(*this, CheckpointToBackup(std::move(ckpt).Take()));
       st = co_await append_done.Wait(*this);
@@ -194,6 +203,14 @@ Task<void> AdpProcess::FlushLoop() {
         ++flushes_;
         ++overlapped_flushes_;
         flushed_bytes_ += batch_size;
+        auto& m = sim().metrics();
+        m.GetCounter("adp.flushes").Increment();
+        m.GetCounter("adp.flushed_bytes").Add(batch_size);
+      }
+      if (Tracer* tr = sim().tracer(); tr != nullptr && tr->enabled()) {
+        tr->Complete(TraceLane::kAdp, "adp.flush_io", io_start.ns,
+                     sim().Now().ns, flush_op, "bytes", batch_size, "ok",
+                     st.ok() ? 1 : 0);
       }
     }
     // Answer every waiter satisfied by (or failed with) this flush.
@@ -201,12 +218,22 @@ Task<void> AdpProcess::FlushLoop() {
     for (auto& w : flush_waiters_) {
       if (!st.ok()) {
         w.request.Respond(st);
+        if (Tracer* tr = sim().tracer();
+            tr != nullptr && tr->enabled() && w.op_id != 0) {
+          tr->AsyncEnd(TraceLane::kAdp, "adp.flush", sim().Now().ns, w.op_id);
+        }
       } else if (w.target <= durable_tail_) {
-        flush_latency_.Record(
-            static_cast<std::uint64_t>((sim().Now() - w.enqueued).ns));
+        const auto wait_ns =
+            static_cast<std::uint64_t>((sim().Now() - w.enqueued).ns);
+        flush_latency_.Record(wait_ns);
+        sim().metrics().GetHistogram("adp.flush_latency_ns").Record(wait_ns);
         Serializer s;
         s.PutU64(durable_tail_);
         w.request.Respond(OkStatus(), std::move(s).Take());
+        if (Tracer* tr = sim().tracer();
+            tr != nullptr && tr->enabled() && w.op_id != 0) {
+          tr->AsyncEnd(TraceLane::kAdp, "adp.flush", sim().Now().ns, w.op_id);
+        }
       } else {
         still_waiting.push_back(std::move(w));
       }
@@ -238,21 +265,32 @@ Task<void> AdpProcess::HandleRequest(Request req) {
       break;
     }
     case kAdpFlush: {
-      // Optional piggybacked records (e.g. the commit record).
+      // Optional piggybacked records (e.g. the commit record). The txn id
+      // of the batch's last record (the committing txn) becomes the flush
+      // request's trace correlation id — flush messages themselves carry
+      // no op-id.
+      std::uint64_t op_id = 0;
       if (!req.payload.empty()) {
-        Status st = co_await BufferRecords(req.payload);
+        Status st = co_await BufferRecords(req.payload, &op_id);
         if (!st.ok()) {
           req.Respond(st);
           break;
         }
       }
+      Tracer* tr = sim().tracer();
+      if (tr != nullptr && tr->enabled() && op_id != 0) {
+        tr->AsyncBegin(TraceLane::kAdp, "adp.flush", sim().Now().ns, op_id);
+      }
       FlushWaiter w{durable_tail_ + buffer_.size(), std::move(req),
-                    sim().Now()};
+                    sim().Now(), op_id};
       if (w.target == durable_tail_) {
         // Nothing pending: already durable.
         Serializer s;
         s.PutU64(durable_tail_);
         w.request.Respond(OkStatus(), std::move(s).Take());
+        if (tr != nullptr && tr->enabled() && op_id != 0) {
+          tr->AsyncEnd(TraceLane::kAdp, "adp.flush", sim().Now().ns, op_id);
+        }
         break;
       }
       flush_waiters_.push_back(std::move(w));

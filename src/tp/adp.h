@@ -95,8 +95,11 @@ class AdpProcess : public nsk::PairMember {
 
  private:
   // Parses serialized records from `payload`, assigns LSNs, frames them
-  // into buffer_, checkpoints the delta, then calls done.
-  sim::Task<Status> BufferRecords(std::span<const std::byte> payload);
+  // into buffer_, checkpoints the delta, then calls done. When `last_txn`
+  // is non-null it receives the txn id of the batch's final record — the
+  // op-id used to correlate the flush that makes this batch durable.
+  sim::Task<Status> BufferRecords(std::span<const std::byte> payload,
+                                  std::uint64_t* last_txn = nullptr);
 
   void EnsureFlusher();
   sim::Task<void> FlushLoop();
@@ -132,6 +135,7 @@ class AdpProcess : public nsk::PairMember {
     std::uint64_t target;  // durable_tail_ must reach this
     nsk::Request request;
     sim::SimTime enqueued;
+    std::uint64_t op_id = 0;  // trace correlation id (committing txn)
   };
   std::deque<FlushWaiter> flush_waiters_;
   bool flusher_running_ = false;

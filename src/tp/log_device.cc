@@ -38,9 +38,10 @@ Task<Status> RingWrite(std::uint64_t tail, std::uint64_t capacity,
 // ---------------------------------------------------------------- LogDevice
 
 Task<Status> LogDevice::AppendBatch(nsk::NskProcess& host,
-                                    std::vector<std::vector<std::byte>> batch) {
+                                    std::vector<std::vector<std::byte>> batch,
+                                    std::uint64_t op_id) {
   for (std::vector<std::byte>& bytes : batch) {
-    auto st = co_await Append(host, std::move(bytes));
+    auto st = co_await Append(host, std::move(bytes), op_id);
     if (!st.ok()) co_return st;
   }
   co_return OkStatus();
@@ -54,7 +55,9 @@ Task<Status> DiskLogDevice::Open(nsk::NskProcess& host) {
 }
 
 Task<Status> DiskLogDevice::Append(nsk::NskProcess& host,
-                                   std::vector<std::byte> bytes) {
+                                   std::vector<std::byte> bytes,
+                                   std::uint64_t op_id) {
+  (void)op_id;  // disk volumes sit below the traced fabric
   // Synchronous append: rotational wait (no write cache), then the
   // sequential volume write.
   co_await host.Sleep(config_.sync_rotational_wait);
@@ -142,14 +145,16 @@ Task<Status> PmLogDevice::Open(nsk::NskProcess& host) {
 }
 
 Task<Status> PmLogDevice::Append(nsk::NskProcess& host,
-                                 std::vector<std::byte> bytes) {
+                                 std::vector<std::byte> bytes,
+                                 std::uint64_t op_id) {
   std::vector<std::vector<std::byte>> batch;
   batch.push_back(std::move(bytes));
-  co_return co_await AppendBatch(host, std::move(batch));
+  co_return co_await AppendBatch(host, std::move(batch), op_id);
 }
 
 Task<Status> PmLogDevice::AppendBatch(
-    nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch) {
+    nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch,
+    std::uint64_t op_id) {
   (void)host;
   if (!region_) co_return Status(ErrorCode::kFailedPrecondition, "not open");
   std::uint64_t n = 0;
@@ -178,7 +183,7 @@ Task<Status> PmLogDevice::AppendBatch(
     ops.reserve(2);
     ops.push_back({kDataBase + (tail_ % cap), std::move(flat)});
     ops.push_back({0, EncodeControlBlock(new_tail)});
-    auto st = co_await region_->WriteChain(std::move(ops));
+    auto st = co_await region_->WriteChain(std::move(ops), op_id);
     if (!st.ok()) co_return st;
     stats_.piggybacked.Increment();
     tail_ = new_tail;
@@ -191,12 +196,12 @@ Task<Status> PmLogDevice::AppendBatch(
   auto st = co_await RingWrite(
       tail_, cap, kDataBase, std::move(flat),
       [&](std::uint64_t off, std::vector<std::byte> b) -> Task<Status> {
-        co_return co_await pipeline_->Submit(off, std::move(b));
+        co_return co_await pipeline_->Submit(off, std::move(b), op_id);
       });
   if (st.ok()) st = co_await pipeline_->Drain();
   if (!st.ok()) co_return st;
   tail_ += n;
-  co_return co_await region_->Write(0, EncodeControlBlock(tail_));
+  co_return co_await region_->Write(0, EncodeControlBlock(tail_), op_id);
 }
 
 Task<Result<std::vector<std::byte>>> PmLogDevice::RecoverLog(

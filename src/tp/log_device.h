@@ -43,15 +43,20 @@ class LogDevice {
   virtual sim::Task<Status> Open(nsk::NskProcess& host) = 0;
 
   // Durably appends `bytes` at the logical tail; returns once durable.
+  // `op_id` is a trace correlation id (0 = untagged) threaded down to the
+  // fabric. Virtual default arguments resolve statically, so overrides
+  // restate exactly `op_id = 0` (callers hold concrete devices too).
   virtual sim::Task<Status> Append(nsk::NskProcess& host,
-                                   std::vector<std::byte> bytes) = 0;
+                                   std::vector<std::byte> bytes,
+                                   std::uint64_t op_id = 0) = 0;
 
   // Durably appends every element of `batch` in order; returns once all
   // are durable. One group-commit flush should be one call here: devices
   // that can pipeline (PM) turn the whole batch into a single fabric op
   // instead of a write-per-record. Default: sequential Appends.
   virtual sim::Task<Status> AppendBatch(
-      nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch);
+      nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch,
+      std::uint64_t op_id = 0);
 
   // Pipelining instrumentation, when the device has any (PM only).
   [[nodiscard]] virtual const PipelineStats* pipeline_stats() const noexcept {
@@ -85,8 +90,8 @@ class DiskLogDevice final : public LogDevice {
       : volume_(volume), config_(config) {}
 
   sim::Task<Status> Open(nsk::NskProcess& host) override;
-  sim::Task<Status> Append(nsk::NskProcess& host,
-                           std::vector<std::byte> bytes) override;
+  sim::Task<Status> Append(nsk::NskProcess& host, std::vector<std::byte> bytes,
+                           std::uint64_t op_id = 0) override;
   sim::Task<Result<std::vector<std::byte>>> RecoverLog(
       nsk::NskProcess& host) override;
 
@@ -121,10 +126,11 @@ class PmLogDevice final : public LogDevice {
   explicit PmLogDevice(PmLogConfig config) : config_(std::move(config)) {}
 
   sim::Task<Status> Open(nsk::NskProcess& host) override;
-  sim::Task<Status> Append(nsk::NskProcess& host,
-                           std::vector<std::byte> bytes) override;
+  sim::Task<Status> Append(nsk::NskProcess& host, std::vector<std::byte> bytes,
+                           std::uint64_t op_id = 0) override;
   sim::Task<Status> AppendBatch(
-      nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch) override;
+      nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch,
+      std::uint64_t op_id = 0) override;
   sim::Task<Result<std::vector<std::byte>>> RecoverLog(
       nsk::NskProcess& host) override;
 

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "common/serialize.h"
+#include "common/trace.h"
 #include "tp/audit.h"
 #include "tp/kinds.h"
 
@@ -89,7 +90,7 @@ Task<void> TmfProcess::NoteState(std::uint64_t txn, TxnState state) {
                                              : AuditType::kUpdate;
     rec.key = static_cast<std::uint64_t>(state);
     FrameRecord(rec, framed);
-    (void)co_await tcb_log_->Append(*this, std::move(framed));
+    (void)co_await tcb_log_->Append(*this, std::move(framed), txn);
   }
   (void)co_await CheckpointToBackup(std::move(entry));
 }
@@ -150,6 +151,11 @@ Task<void> TmfProcess::HandleCommit(Request& req) {
                        "transaction not active"));
     co_return;
   }
+  Tracer* tr = sim().tracer();
+  if (tr != nullptr && tr->enabled()) {
+    tr->AsyncBegin(TraceLane::kTmf, "txn.commit", sim().Now().ns, txn, "adps",
+                   adps.size());
+  }
   co_await Compute(config_.commit_cpu);
   co_await NoteState(txn, TxnState::kCommitting);
 
@@ -160,18 +166,32 @@ Task<void> TmfProcess::HandleCommit(Request& req) {
       std::find(adps.begin(), adps.end(), config_.master_adp) == adps.end()) {
     adps.push_back(config_.master_adp);
   }
+  const sim::SimTime flush_start = sim().Now();
   Status st = co_await FlushAudit(adps, MakeOutcomeBatch(txn, true));
+  if (tr != nullptr && tr->enabled()) {
+    tr->Complete(TraceLane::kTmf, "tmf.flush_audit", flush_start.ns,
+                 sim().Now().ns, txn, "adps", adps.size(), "ok",
+                 st.ok() ? 1 : 0);
+  }
   if (!st.ok()) {
     co_await NoteState(txn, TxnState::kAborted);
     ResolveFanout(txn, false, dp2s);
     ++aborts_;
+    sim().metrics().GetCounter("tmf.aborts").Increment();
     req.Respond(Status(ErrorCode::kAborted,
                        "audit flush failed: " + st.ToString()));
+    if (tr != nullptr && tr->enabled()) {
+      tr->AsyncEnd(TraceLane::kTmf, "txn.commit", sim().Now().ns, txn);
+    }
     co_return;
   }
   co_await NoteState(txn, TxnState::kCommitted);
   ++commits_;
+  sim().metrics().GetCounter("tmf.commits").Increment();
   req.Respond(OkStatus());
+  if (tr != nullptr && tr->enabled()) {
+    tr->AsyncEnd(TraceLane::kTmf, "txn.commit", sim().Now().ns, txn);
+  }
   // Post-commit: lock release is off the response path.
   ResolveFanout(txn, true, dp2s);
 }
@@ -195,6 +215,7 @@ Task<void> TmfProcess::HandleAbort(Request& req) {
     (void)co_await Call(adp, kAdpBuffer, MakeOutcomeBatch(txn, false));
   }
   ++aborts_;
+  sim().metrics().GetCounter("tmf.aborts").Increment();
   // Undo must complete before the client can safely reuse the keys.
   for (const std::string& dp2 : dp2s) {
     nsk::CallOptions opts;

@@ -8,6 +8,7 @@
 #include <span>
 #include <utility>
 
+#include "common/trace.h"
 #include "nsk/cluster.h"
 #include "pm/client.h"
 #include "pm/manager.h"
@@ -73,6 +74,9 @@ struct CrashRig {
   pm::PmManager* pmm_p;
   pm::PmManager* pmm_b;
   sim::FaultPlan plan;
+  // Bounded span ring: always on, so any invariant violation comes with
+  // the tail of the run's fabric/PMM activity for post-mortem.
+  Tracer tracer;
 
   CrashMode mode;
   std::map<std::string, RegionTruth> truth;
@@ -113,6 +117,8 @@ struct CrashRig {
     pmm_b->SetPeer(pmm_p);
     plan.SetObserver([this](const FaultSite& s) { Observe(s); });
     sim.set_fault_plan(&plan);
+    tracer.Enable(/*capacity=*/8192);
+    sim.set_tracer(&tracer);
     pmm_p->Start();
     pmm_b->Start();
   }
@@ -120,6 +126,7 @@ struct CrashRig {
   ~CrashRig() {
     sim.Shutdown();
     sim.set_fault_plan(nullptr);
+    sim.set_tracer(nullptr);
   }
 
   void Violate(std::string what) { violations.push_back(std::move(what)); }
@@ -462,7 +469,8 @@ struct CrashRig {
     }
   }
 
-  CrashRunResult Run(std::optional<std::size_t> crash_index) {
+  CrashRunResult Run(std::optional<std::size_t> crash_index,
+                     bool capture_trace) {
     if (crash_index && mode != CrashMode::kNone) {
       plan.ArmAt(*crash_index, [this](const FaultSite& s) { FireCrash(s); });
     }
@@ -483,6 +491,9 @@ struct CrashRig {
     result.violations = violations;
     result.verified = verified;
     result.regions_checked = regions_checked;
+    if (capture_trace || !violations.empty()) {
+      result.trace_json = tracer.ToChromeJson();
+    }
     return result;
   }
 };
@@ -508,9 +519,10 @@ const std::vector<CrashMode>& SweepableCrashModes() {
 }
 
 CrashRunResult RunCrashScenario(std::uint64_t seed, CrashMode mode,
-                                std::optional<std::size_t> crash_index) {
+                                std::optional<std::size_t> crash_index,
+                                bool capture_trace) {
   CrashRig rig(seed, mode);
-  return rig.Run(crash_index);
+  return rig.Run(crash_index, capture_trace);
 }
 
 }  // namespace ods::workload

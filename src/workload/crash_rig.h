@@ -57,12 +57,18 @@ struct CrashRunResult {
   // True once the post-recovery verifier reached the PMM and finished.
   bool verified = false;
   std::size_t regions_checked = 0;
+  // Chrome-trace JSON of the run's span ring buffer. Populated whenever
+  // an invariant was violated (the post-mortem dump), or always when the
+  // run was asked to capture (determinism regression tests diff it).
+  std::string trace_json;
 };
 
 // Runs the scenario once. `crash_index == nullopt` (or mode kNone) is a
 // record pass. The simulation is deterministic: the same (seed, mode,
-// crash_index) always produces the same result.
+// crash_index) always produces the same result — including, with
+// `capture_trace`, the exported trace bytes.
 CrashRunResult RunCrashScenario(std::uint64_t seed, CrashMode mode,
-                                std::optional<std::size_t> crash_index);
+                                std::optional<std::size_t> crash_index,
+                                bool capture_trace = false);
 
 }  // namespace ods::workload

@@ -1,6 +1,7 @@
 #include "workload/hot_stock.h"
 
 #include "common/log.h"
+#include "common/trace.h"
 
 namespace ods::workload {
 
@@ -89,8 +90,14 @@ Task<void> HotStockDriver::Main() {
     ++stats_->committed_txns;
     stats_->records_inserted += static_cast<std::uint64_t>(batch);
     remaining -= static_cast<std::uint64_t>(batch);
-    stats_->txn_response.Record(
-        static_cast<std::uint64_t>((sim().Now() - t0).ns));
+    const auto resp_ns = static_cast<std::uint64_t>((sim().Now() - t0).ns);
+    stats_->txn_response.Record(resp_ns);
+    sim().metrics().GetHistogram("workload.txn_response_ns").Record(resp_ns);
+    if (Tracer* tr = sim().tracer(); tr != nullptr && tr->enabled()) {
+      tr->Complete(TraceLane::kWorkload, "txn", t0.ns, sim().Now().ns, txn->id,
+                   "driver", static_cast<std::uint64_t>(driver_index_),
+                   "records", static_cast<std::uint64_t>(batch));
+    }
   }
   stats_->finished = sim().Now();
   done_->Arrive();

@@ -1,0 +1,276 @@
+// Unit tests for the observability primitives that everything else
+// builds on: the JSON document model (common/json.h), the metrics
+// registry (common/metrics.h), and the span tracer ring buffer
+// (common/trace.h). Determinism and round-trip properties asserted here
+// are what make the bench JSON and Chrome-trace exports diffable.
+#include "common/json.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace ods {
+namespace {
+
+// ---------------------------------------------------------------- JsonValue
+
+TEST(Json, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape("nl\n"), "nl\\n");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(JsonEscape("µs"), "µs");
+}
+
+TEST(Json, NumberFormatting) {
+  EXPECT_EQ(JsonNumber(0), "0");
+  EXPECT_EQ(JsonNumber(42), "42");
+  EXPECT_EQ(JsonNumber(-17), "-17");
+  EXPECT_EQ(JsonNumber(1e15), "1000000000000000");  // integral within 2^53
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+}
+
+TEST(Json, BuildsNestedDocuments) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", "bench \"quoted\"");
+  doc.Set("count", std::uint64_t{12});
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append(JsonValue::Object().Set("k", 2.5));
+  doc.Set("rows", std::move(arr));
+
+  const std::string compact = doc.Serialize();
+  EXPECT_EQ(compact,
+            "{\"name\":\"bench \\\"quoted\\\"\",\"count\":12,"
+            "\"rows\":[1,{\"k\":2.5}]}");
+}
+
+TEST(Json, SetReplacesExistingKeyInPlace) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("a", 1);
+  doc.Set("b", 2);
+  doc.Set("a", 3);  // replace, preserving insertion order
+  EXPECT_EQ(doc.Serialize(), "{\"a\":3,\"b\":2}");
+  EXPECT_EQ(doc.size(), 2u);
+}
+
+TEST(Json, FindMutableAllowsNestedEdits) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("inner", JsonValue::Object());
+  doc.FindMutable("inner")->Set("x", 9);
+  const JsonValue* inner = doc.Find("inner");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(inner->Find("x"), nullptr);
+  EXPECT_EQ(inner->Find("x")->number(), 9.0);
+  EXPECT_EQ(doc.FindMutable("absent"), nullptr);
+}
+
+TEST(Json, RoundTripsThroughParse) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("s", "esc\"\\\n\t");
+  doc.Set("n", 3.25);
+  doc.Set("i", std::uint64_t{123456789});
+  doc.Set("t", true);
+  doc.Set("nul", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  for (int i = 0; i < 4; ++i) arr.Append(i * 10);
+  doc.Set("a", std::move(arr));
+  JsonValue nested = JsonValue::Object();
+  nested.Set("deep", JsonValue::Object().Set("x", -1));
+  doc.Set("o", std::move(nested));
+
+  for (int indent : {-1, 2}) {
+    const std::string text = doc.Serialize(indent);
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.has_value()) << text;
+    // Canonical comparison: re-serializing the parse yields identical
+    // bytes (ordering is insertion order, numbers reformat identically).
+    EXPECT_EQ(parsed->Serialize(indent), text);
+  }
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").has_value());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").has_value());
+  EXPECT_FALSE(JsonValue::Parse("nulll").has_value());
+}
+
+TEST(Json, ParseHandlesUnicodeEscapes) {
+  auto v = JsonValue::Parse("\"a\\u00b5b\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->str(), "aµb");
+}
+
+// ---------------------------------------------------------- MetricsRegistry
+
+TEST(Metrics, CountersAndHistogramsAreStableReferences) {
+  MetricsRegistry m;
+  Counter& a = m.GetCounter("a.ops");
+  // Creating more entries must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    m.GetCounter("filler." + std::to_string(i));
+  }
+  a.Add(7);
+  EXPECT_EQ(m.GetCounter("a.ops").value(), 7u);
+  EXPECT_EQ(m.counter_count(), 101u);
+
+  LatencyHistogram& h = m.GetHistogram("a.lat");
+  h.Record(1000);
+  EXPECT_EQ(m.GetHistogram("a.lat").count(), 1u);
+  EXPECT_NE(m.FindCounter("a.ops"), nullptr);
+  EXPECT_EQ(m.FindCounter("absent"), nullptr);
+}
+
+TEST(Metrics, SnapshotIsSortedAndParseable) {
+  MetricsRegistry m;
+  m.GetCounter("z.last").Increment();
+  m.GetCounter("a.first").Add(5);
+  m.GetHistogram("mid.lat").Record(2048);
+
+  JsonValue snap = m.Snapshot();
+  const std::string text = snap.Serialize(2);
+  auto parsed = JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue* counters = parsed->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // std::map iteration: exported in name order regardless of creation
+  // order — the byte-determinism contract.
+  ASSERT_EQ(counters->members().size(), 2u);
+  EXPECT_EQ(counters->members()[0].first, "a.first");
+  EXPECT_EQ(counters->members()[1].first, "z.last");
+  EXPECT_EQ(counters->members()[0].second.number(), 5.0);
+
+  const JsonValue* hists = parsed->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* lat = hists->Find("mid.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("count")->number(), 1.0);
+  EXPECT_GE(lat->Find("p99_ns")->number(), 2048.0);
+}
+
+TEST(Metrics, ResetClearsValuesButKeepsNames) {
+  MetricsRegistry m;
+  Counter& c = m.GetCounter("x");
+  c.Add(3);
+  m.GetHistogram("y").Record(10);
+  m.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(m.GetHistogram("y").count(), 0u);
+  EXPECT_EQ(m.counter_count(), 1u);
+}
+
+// ------------------------------------------------------------------ Tracer
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.Complete(TraceLane::kFabric, "op", 0, 10);
+  t.Instant(TraceLane::kAdp, "i", 5);
+  t.AsyncBegin(TraceLane::kTmf, "a", 0, 1);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  Tracer t;
+  t.Enable(/*capacity=*/4);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    t.Complete(TraceLane::kFabric, "ev", i, i + 1);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Oldest-first iteration yields the most recent window in order.
+  std::int64_t expect_ts = 6;
+  t.ForEach([&](const TraceEvent& ev) { EXPECT_EQ(ev.ts_ns, expect_ts++); });
+  EXPECT_EQ(expect_ts, 10);
+}
+
+TEST(Tracer, ExactlyFullRingDropsNothing) {
+  Tracer t;
+  t.Enable(4);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    t.Instant(TraceLane::kAdp, "i", i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, ClearKeepsCapacityAndEnables) {
+  Tracer t;
+  t.Enable(8);
+  t.Instant(TraceLane::kAdp, "i", 1);
+  t.Clear();
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(t.size(), 0u);
+  t.Instant(TraceLane::kAdp, "i", 2);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(Tracer, ChromeJsonIsValidAndCarriesLaneMetadata) {
+  Tracer t;
+  t.Enable(16);
+  t.Complete(TraceLane::kFabric, "rdma.write", 1000, 3500, 42, "bytes", 4096,
+             "rail", 1);
+  t.AsyncBegin(TraceLane::kTmf, "txn.commit", 1000, 42);
+  t.AsyncEnd(TraceLane::kTmf, "txn.commit", 9000, 42);
+  t.Instant(TraceLane::kPmClient, "pm.pipeline_issue", 2500, 42, "depth", 3);
+
+  const std::string json = t.ToChromeJson();
+  auto doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int metadata = 0, complete = 0, async = 0, instant = 0;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    const std::string& ph = e.Find("ph")->str();
+    if (ph == "M") ++metadata;
+    if (ph == "X") {
+      ++complete;
+      // ts/dur are microseconds: 1000ns -> "1.000", 2500ns dur -> 2.5us.
+      EXPECT_DOUBLE_EQ(e.Find("ts")->number(), 1.0);
+      EXPECT_DOUBLE_EQ(e.Find("dur")->number(), 2.5);
+      EXPECT_EQ(e.Find("args")->Find("bytes")->number(), 4096.0);
+      EXPECT_EQ(e.Find("args")->Find("op")->number(), 42.0);
+    }
+    if (ph == "b" || ph == "e") {
+      ++async;
+      // Async events need cat + id for Perfetto to join them.
+      ASSERT_NE(e.Find("cat"), nullptr);
+      ASSERT_NE(e.Find("id"), nullptr);
+    }
+    if (ph == "i") ++instant;
+  }
+  EXPECT_GE(metadata, 7);  // process_name + 6 lane names
+  EXPECT_EQ(complete, 1);
+  EXPECT_EQ(async, 2);
+  EXPECT_EQ(instant, 1);
+}
+
+TEST(Tracer, IdenticalEventSequencesExportIdenticalBytes) {
+  auto run = [] {
+    Tracer t;
+    t.Enable(32);
+    for (int i = 0; i < 20; ++i) {
+      t.Complete(TraceLane::kAdp, "adp.flush_io", i * 100, i * 100 + 50,
+                 static_cast<std::uint64_t>(i), "bytes", 512);
+    }
+    return t.ToChromeJson();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ods

@@ -1,0 +1,161 @@
+// Property tests for the log-bucketed LatencyHistogram (common/stats.h).
+//
+// The histogram promises three things the observability layer leans on:
+//   * Percentile(q) brackets the exact q-quantile sample from above with
+//     at most one sub-bucket of relative error (16 linear sub-buckets
+//     per octave => a bucket's upper bound is <= 17/16 of any sample in
+//     it, i.e. ~6.25%);
+//   * Merge is exactly equivalent to having recorded the union of the
+//     two sample streams (bucket counts are additive and min/sum/max
+//     combine losslessly);
+//   * merging with an empty histogram is the identity, including the
+//     min()/max() edge cases around the empty sentinel.
+#include "common/stats.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ods {
+namespace {
+
+// Log-uniform samples spanning sub-bucket-exact values (< 16) up to the
+// multi-millisecond range, so every bucketing regime is exercised.
+std::vector<std::uint64_t> LogUniformSamples(std::uint32_t seed,
+                                             std::size_t n) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& s : v) {
+    const int shift = static_cast<int>(rng() % 33);  // [0, 32]
+    s = rng() % ((1ull << shift) + 1);
+  }
+  return v;
+}
+
+// The exact quantile with the same rank convention Percentile uses.
+std::uint64_t ExactQuantile(const std::vector<std::uint64_t>& sorted,
+                            double q) {
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[static_cast<std::size_t>(rank)];
+}
+
+TEST(LatencyHistogramProperty, PercentileBracketsExactQuantile) {
+  for (std::uint32_t seed : {1u, 7u, 42u, 1234u}) {
+    auto samples = LogUniformSamples(seed, 5000);
+    LatencyHistogram h;
+    for (std::uint64_t s : samples) h.Record(s);
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+      const std::uint64_t exact = ExactQuantile(samples, q);
+      const std::uint64_t got = h.Percentile(q);
+      // Never an underestimate...
+      EXPECT_GE(got, exact) << "seed " << seed << " q " << q;
+      // ...and at most one sub-bucket (1/16) of relative overestimate.
+      EXPECT_LE(got, exact + (exact >> 4) + 1)
+          << "seed " << seed << " q " << q;
+      // Clamped into the observed range.
+      EXPECT_LE(got, h.max());
+    }
+  }
+}
+
+TEST(LatencyHistogramProperty, PercentileExactBelowSixteen) {
+  // Values below 2^4 are their own buckets: percentiles are exact.
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(rng() % 16);
+    h.Record(samples.back());
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 0.3, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(h.Percentile(q), ExactQuantile(samples, q)) << "q " << q;
+  }
+}
+
+TEST(LatencyHistogramProperty, MergeEquivalentToUnionRecording) {
+  for (std::uint32_t seed : {3u, 17u, 271u}) {
+    const auto a = LogUniformSamples(seed, 3000);
+    const auto b = LogUniformSamples(seed + 1, 1700);
+
+    LatencyHistogram ha, hb, hu;
+    for (std::uint64_t s : a) {
+      ha.Record(s);
+      hu.Record(s);
+    }
+    for (std::uint64_t s : b) {
+      hb.Record(s);
+      hu.Record(s);
+    }
+    ha.Merge(hb);
+
+    EXPECT_EQ(ha.count(), hu.count());
+    EXPECT_EQ(ha.min(), hu.min());
+    EXPECT_EQ(ha.max(), hu.max());
+    EXPECT_DOUBLE_EQ(ha.mean(), hu.mean());
+    // Bucket counts are additive, so EVERY percentile agrees exactly.
+    for (int i = 0; i <= 1000; ++i) {
+      const double q = static_cast<double>(i) / 1000.0;
+      ASSERT_EQ(ha.Percentile(q), hu.Percentile(q))
+          << "seed " << seed << " q " << q;
+    }
+  }
+}
+
+TEST(LatencyHistogramProperty, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  for (std::uint64_t s : {100ull, 5ull, 90000ull}) h.Record(s);
+  const std::uint64_t min_before = h.min();
+  const std::uint64_t max_before = h.max();
+  const std::uint64_t count_before = h.count();
+  const double mean_before = h.mean();
+
+  LatencyHistogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.min(), min_before);  // empty sentinel must not clobber min
+  EXPECT_EQ(h.max(), max_before);
+  EXPECT_EQ(h.count(), count_before);
+  EXPECT_DOUBLE_EQ(h.mean(), mean_before);
+
+  // Merging INTO an empty histogram adopts the other side wholesale.
+  LatencyHistogram fresh;
+  fresh.Merge(h);
+  EXPECT_EQ(fresh.min(), min_before);
+  EXPECT_EQ(fresh.max(), max_before);
+  EXPECT_EQ(fresh.count(), count_before);
+  EXPECT_EQ(fresh.Percentile(0.5), h.Percentile(0.5));
+}
+
+TEST(LatencyHistogramProperty, EmptyMergedWithEmptyStaysEmpty) {
+  LatencyHistogram a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);  // min() hides the internal UINT64_MAX sentinel
+  EXPECT_EQ(a.max(), 0u);
+  EXPECT_EQ(a.Percentile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(LatencyHistogramProperty, RecordAfterResetMatchesFresh) {
+  LatencyHistogram used;
+  for (std::uint64_t s : LogUniformSamples(5, 500)) used.Record(s);
+  used.Reset();
+  LatencyHistogram fresh;
+  for (std::uint64_t s : {77ull, 1234ull}) {
+    used.Record(s);
+    fresh.Record(s);
+  }
+  EXPECT_EQ(used.count(), fresh.count());
+  EXPECT_EQ(used.min(), fresh.min());
+  EXPECT_EQ(used.max(), fresh.max());
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(used.Percentile(q), fresh.Percentile(q));
+  }
+}
+
+}  // namespace
+}  // namespace ods

@@ -1,0 +1,192 @@
+// End-to-end tests for the observability layer on the full stack:
+//
+//   * byte-determinism — two identically-seeded hot-stock runs (and two
+//     identical crash-rig schedules) export byte-identical Chrome trace
+//     JSON. Sim-time stamping makes any nondeterminism in the stack show
+//     up as a trace diff, so this doubles as a regression net;
+//   * op-id threading — one committed boxcar transaction is followable
+//     across every lane (workload -> TMF -> ADP -> PM client -> fabric)
+//     by the op id stamped into the exported events;
+//   * BenchJson — the bench harness writes a nested document that parses
+//     back with the registry snapshot and latency summaries intact.
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "sim/simulation.h"
+#include "workload/crash_rig.h"
+#include "workload/hot_stock.h"
+#include "workload/rig.h"
+
+namespace ods {
+namespace {
+
+workload::RigConfig SmallPmRig() {
+  workload::RigConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.num_files = 2;
+  cfg.partitions_per_file = 2;
+  cfg.num_adps = 2;
+  cfg.log_medium = tp::LogMedium::kPm;
+  cfg.pm_device = workload::PmDeviceKind::kNpmuPair;
+  cfg.pm_tcb = true;
+  return cfg;
+}
+
+// Runs a small PM-backed hot-stock workload with tracing on and returns
+// the exported Chrome trace. Everything inside is seeded from `seed`.
+std::string RunTracedHotStock(std::uint64_t seed) {
+  sim::Simulation sim(seed);
+  Tracer tracer;
+  tracer.Enable(1u << 15);
+  sim.set_tracer(&tracer);
+  {
+    workload::Rig rig(sim, SmallPmRig());
+    sim.RunFor(sim::Seconds(1));
+    workload::HotStockConfig hs;
+    hs.drivers = 2;
+    hs.inserts_per_txn = 8;
+    hs.records_per_driver = 64;
+    hs.record_bytes = 512;
+    (void)workload::RunHotStock(rig, hs);
+  }
+  sim.set_tracer(nullptr);
+  return tracer.ToChromeJson();
+}
+
+TEST(TraceDeterminism, SeededHotStockRunsExportIdenticalBytes) {
+  const std::string a = RunTracedHotStock(42);
+  const std::string b = RunTracedHotStock(42);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(JsonValue::Parse(a).has_value());
+}
+
+TEST(TraceDeterminism, CrashRigSchedulesExportIdenticalBytes) {
+  // Record pass (no fault armed).
+  auto r1 = workload::RunCrashScenario(7, workload::CrashMode::kNone,
+                                       std::nullopt, /*capture_trace=*/true);
+  auto r2 = workload::RunCrashScenario(7, workload::CrashMode::kNone,
+                                       std::nullopt, /*capture_trace=*/true);
+  EXPECT_TRUE(r1.violations.empty());
+  ASSERT_FALSE(r1.trace_json.empty());
+  EXPECT_EQ(r1.trace_json, r2.trace_json);
+  EXPECT_TRUE(JsonValue::Parse(r1.trace_json).has_value());
+
+  // One armed schedule: the crash + recovery path must replay
+  // identically too. (Site 10 is a mid-scenario write-ack the halt mode
+  // actually fires at — the earliest sites precede the armable window.)
+  auto c1 = workload::RunCrashScenario(7, workload::CrashMode::kHaltPrimaryPmm,
+                                       10, /*capture_trace=*/true);
+  auto c2 = workload::RunCrashScenario(7, workload::CrashMode::kHaltPrimaryPmm,
+                                       10, /*capture_trace=*/true);
+  ASSERT_TRUE(c1.fired_at.has_value());
+  EXPECT_TRUE(c1.violations.empty());
+  ASSERT_FALSE(c1.trace_json.empty());
+  EXPECT_EQ(c1.trace_json, c2.trace_json);
+  // The armed run diverges from the record pass after the fired site.
+  EXPECT_NE(c1.trace_json, r1.trace_json);
+}
+
+TEST(TraceOpId, OneCommitIsFollowableAcrossAllLanes) {
+  const std::string json = RunTracedHotStock(11);
+  auto doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // Lanes seen per op id, from complete spans carrying args.op.
+  std::map<std::uint64_t, std::set<int>> lanes_by_op;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->str() != "X") continue;
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr) continue;
+    const JsonValue* op = args->Find("op");
+    if (op == nullptr || op->number() == 0.0) continue;
+    lanes_by_op[static_cast<std::uint64_t>(op->number())].insert(
+        static_cast<int>(e.Find("tid")->number()));
+  }
+
+  // At least one committed transaction's op id must cross every layer of
+  // the durable-write path: workload (1), TMF (2), ADP (3), PM client
+  // (4), fabric (5).
+  const std::set<int> want = {1, 2, 3, 4, 5};
+  bool found = false;
+  for (const auto& [op, lanes] : lanes_by_op) {
+    if (std::includes(lanes.begin(), lanes.end(), want.begin(), want.end())) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found) << "no op id spans all five trace lanes";
+}
+
+TEST(BenchJson, WritesNestedDocumentThatRoundTrips) {
+  bench::BenchJson json("ut_roundtrip");
+  json.Set("elapsed_s", 1.5);
+
+  LatencyHistogram h;
+  for (std::uint64_t i = 1; i <= 100; ++i) h.Record(i * 1000);
+  json.SetLatency("txn", h);
+  json.SetOpsPerSec("txn", h);  // merges into the same nested object
+
+  JsonValue rows = JsonValue::Array();
+  for (int k : {1, 8}) {
+    JsonValue row = JsonValue::Object();
+    row.Set("boxcar", k);
+    row.Set("label", "K=\"" + std::to_string(k) + "\"");  // needs escaping
+    rows.Append(std::move(row));
+  }
+  json.Set("rows", std::move(rows));
+
+  MetricsRegistry m;
+  m.GetCounter("x.ops").Add(3);
+  m.GetHistogram("x.lat").Record(500);
+  json.AttachMetrics(m);
+  ASSERT_TRUE(json.Write());
+
+  std::FILE* f = std::fopen("BENCH_ut_roundtrip.json", "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove("BENCH_ut_roundtrip.json");
+
+  auto doc = JsonValue::Parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+  EXPECT_EQ(doc->Find("bench")->str(), "ut_roundtrip");
+  EXPECT_DOUBLE_EQ(doc->Find("elapsed_s")->number(), 1.5);
+
+  const JsonValue* txn = doc->Find("txn");
+  ASSERT_NE(txn, nullptr);
+  EXPECT_EQ(txn->Find("count")->number(), 100.0);
+  ASSERT_NE(txn->Find("p99_us"), nullptr);
+  ASSERT_NE(txn->Find("ops_per_sec"), nullptr);
+
+  const JsonValue* rows_back = doc->Find("rows");
+  ASSERT_NE(rows_back, nullptr);
+  ASSERT_EQ(rows_back->size(), 2u);
+  EXPECT_EQ(rows_back->at(0).Find("label")->str(), "K=\"1\"");
+
+  const JsonValue* counters = doc->Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("x.ops")->number(), 3.0);
+}
+
+}  // namespace
+}  // namespace ods
