@@ -16,9 +16,23 @@ namespace ods {
 
 class Serializer {
  public:
-  Serializer() = default;
+  // A fresh serializer starts with a small reservation: nearly every
+  // message is a few header fields plus a blob, and letting the vector
+  // grow 1->2->4->... costs half a dozen reallocations per message on
+  // the hot request path.
+  Serializer() { out_.reserve(kInitialReserve); }
   explicit Serializer(std::vector<std::byte> buffer)
       : out_(std::move(buffer)) {}
+
+  // Pre-sizes for `extra` more bytes; callers that know the wire size
+  // up front (audit framing) make the whole message one allocation.
+  // Keeps geometric growth when the buffer is an accumulating log image
+  // — an exact reserve per append would degrade to quadratic copying.
+  void Reserve(std::size_t extra) {
+    const std::size_t need = out_.size() + extra;
+    if (need <= out_.capacity()) return;
+    out_.reserve(std::max(need, out_.capacity() * 2));
+  }
 
   void PutU8(std::uint8_t v) { out_.push_back(static_cast<std::byte>(v)); }
   void PutU16(std::uint16_t v) { PutLittleEndian(v); }
@@ -47,6 +61,8 @@ class Serializer {
   [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
 
  private:
+  static constexpr std::size_t kInitialReserve = 64;
+
   template <typename T>
   void PutLittleEndian(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {

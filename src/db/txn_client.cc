@@ -27,6 +27,7 @@ Task<Status> TxnClient::Insert(Transaction& txn, std::uint32_t file,
                                std::vector<std::byte> value) {
   const PartitionRoute& route = catalog_->Route(file, key);
   Serializer s;
+  s.Reserve(8 + 4 + 8 + 4 + value.size());
   s.PutU64(txn.id);
   s.PutU32(file);
   s.PutU64(key);

@@ -72,6 +72,20 @@ sim::Future<Status> Endpoint::StartWrite(EndpointId target, std::uint64_t nva,
   return StartWriteChain(target, std::move(segments), op_id);
 }
 
+namespace {
+
+// One chain segment's delivery state: the landed prefix of its payload is
+// applied to target memory by the batched delivery event.
+struct LandedLeg {
+  std::byte* base;
+  std::function<void(std::uint64_t, std::uint64_t)> on_write;
+  std::uint64_t window_off;
+  std::vector<std::byte> payload;
+  std::uint64_t landed;  // bytes of this leg that arrived intact
+};
+
+}  // namespace
+
 sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
                                               std::vector<ChainSegment> segments,
                                               std::uint64_t op_id) {
@@ -113,13 +127,7 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
   }
   // Translate every segment before anything is posted: a bad chain fails
   // whole, nothing lands.
-  struct Leg {
-    std::byte* base;
-    std::function<void(std::uint64_t, std::uint64_t)> on_write;
-    std::uint64_t window_off;
-    std::shared_ptr<std::vector<std::byte>> payload;
-  };
-  std::vector<Leg> legs;
+  std::vector<LandedLeg> legs;
   legs.reserve(segments.size());
   std::uint64_t total = 0;
   const std::uint64_t first_seg_nva = segments.empty() ? 0 : segments[0].nva;
@@ -130,22 +138,26 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
       return fut;
     }
     total += seg.data.size();
-    legs.push_back(Leg{(*win)->memory + (seg.nva - (*win)->nva_base),
-                       (*win)->on_write, seg.nva - (*win)->nva_base,
-                       std::make_shared<std::vector<std::byte>>(
-                           std::move(seg.data))});
+    legs.push_back(LandedLeg{(*win)->memory + (seg.nva - (*win)->nva_base),
+                             (*win)->on_write, seg.nva - (*win)->nva_base,
+                             std::move(seg.data), 0});
   }
 
   // Packetize each segment in order along one timeline: the whole chain
   // pays one software latency, and a corrupted packet aborts the rest of
-  // the chain (later segments never land). Each packet lands
-  // independently as it arrives (torn on power failure); the final ack
-  // resolves the future. Concurrent transfers to the same target queue on
-  // its ingress link.
+  // the chain (later segments never land). Timing, per-packet corruption
+  // draws, and counters are identical to delivering each packet with its
+  // own event — but the landed prefix is applied by ONE delivery event at
+  // the arrival time of its last packet, so a boxcar of N packets costs
+  // one event instead of N (the payloads move into the batch; nothing is
+  // reference-counted per packet). Concurrent transfers to the same
+  // target queue on its ingress link.
   const SimTime now = sim.Now();
   const SimTime link_free = std::max(now, tgt->link_busy_until_);
   SimDuration wire{0};
-  for (const Leg& leg : legs) wire = wire + fabric_.TransferTime(leg.payload->size());
+  for (const LandedLeg& leg : legs) {
+    wire = wire + fabric_.TransferTime(leg.payload.size());
+  }
   tgt->link_busy_until_ = link_free + wire;
   SimDuration t = (link_free - now) + cfg.software_latency;
   const int rail = fabric_.PickRail();
@@ -154,8 +166,10 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
                 : nullptr;
   fabric_.rdma_write_ops_++;
   bool aborted = false;
-  for (const Leg& leg : legs) {
-    const std::uint64_t len = leg.payload->size();
+  SimDuration last_land{0};  // arrival of the last non-corrupt packet
+  bool any_landed = false;
+  for (LandedLeg& leg : legs) {
+    const std::uint64_t len = leg.payload.size();
     for (std::uint64_t off = 0; off < len && !aborted; off += cfg.mtu_bytes) {
       const std::uint64_t chunk = std::min<std::uint64_t>(cfg.mtu_bytes, len - off);
       t += cfg.packet_latency +
@@ -175,14 +189,20 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
         aborted = true;
         break;
       }
-      sim.After(t, [payload = leg.payload, base = leg.base,
-                    on_write = leg.on_write, window_off = leg.window_off, off,
-                    chunk] {
-        std::memcpy(base + off, payload->data() + off, chunk);
-        if (on_write) on_write(window_off + off, chunk);
-      });
+      leg.landed = off + chunk;
+      last_land = t;
+      any_landed = true;
     }
     if (aborted) break;
+  }
+  if (any_landed) {
+    sim.After(last_land, [batch = std::move(legs)] {
+      for (const LandedLeg& leg : batch) {
+        if (leg.landed == 0) continue;
+        std::memcpy(leg.base, leg.payload.data(), leg.landed);
+        if (leg.on_write) leg.on_write(leg.window_off, leg.landed);
+      }
+    });
   }
   if (!aborted) {
     fabric_.bytes_transferred_ += total;

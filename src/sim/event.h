@@ -1,0 +1,167 @@
+// Slab-allocated intrusive event records for the discrete-event engine.
+//
+// One EventRecord is one scheduled event. Records are fixed-size (three
+// cache lines) and live in slabs owned by an EventArena; the steady-state
+// schedule/dispatch path recycles records through a free list and never
+// touches the heap. Callables small enough for the inline buffer are
+// stored in place (no type erasure through std::function, no allocation);
+// oversized callables fall back to one boxed allocation, which the
+// allocation-regression test keeps off the hot paths.
+//
+// Guarded timers (Simulation::ScheduleTimer) are records with no callable
+// at all: just a {WaitState*, generation} pair checked at dispatch. When
+// another source claims the wait first, the pending record is flagged
+// cancelled so the queue can reclaim it early (see event_queue.h).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ods::sim {
+
+struct WaitState;
+struct EventRecord;
+
+namespace detail {
+
+// Header split out so the inline-callable budget is exactly "record size
+// minus header size" without manual byte accounting.
+struct EventHeader {
+  SimTime t{};
+  std::uint64_t seq = 0;
+  EventRecord* next = nullptr;  // intrusive link: bucket FIFO / free list
+
+  // Runs the callable and destroys it in place (null for timer records).
+  void (*invoke)(EventRecord&) = nullptr;
+  // Destroys the callable WITHOUT running it (shutdown / dropped events).
+  void (*destroy)(EventRecord&) = nullptr;
+
+  // Guarded-timer fields (Simulation::ScheduleTimer). `guard` is only
+  // dereferenced when `guard_gen` still matches the pooled slot's
+  // generation, so recycled wait states are never resumed by stale
+  // timers.
+  WaitState* guard = nullptr;
+  std::uint64_t guard_gen = 0;
+  std::uint8_t timer_why = 0;  // WaitState::Why, as its underlying type
+  bool cancelled = false;      // claimed-elsewhere timer; reclaim early
+};
+
+}  // namespace detail
+
+struct EventRecord : detail::EventHeader {
+  static constexpr std::size_t kRecordBytes = 192;
+  static constexpr std::size_t kInlineBytes =
+      kRecordBytes - sizeof(detail::EventHeader);
+
+  alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+
+  [[nodiscard]] bool is_timer() const noexcept { return guard != nullptr; }
+
+  // Installs `fn` as this record's callable. Small callables are
+  // constructed in `storage`; larger ones are boxed with one heap
+  // allocation (keep steady-path closures under kInlineBytes).
+  template <typename F>
+  void Emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage)) Fn(std::forward<F>(fn));
+      invoke = [](EventRecord& e) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(e.storage));
+        struct Destroyer {
+          Fn* f;
+          ~Destroyer() { f->~Fn(); }
+        } d{f};
+        (*f)();
+      };
+      destroy = [](EventRecord& e) {
+        std::launder(reinterpret_cast<Fn*>(e.storage))->~Fn();
+      };
+    } else {
+      ::new (static_cast<void*>(storage)) Fn*(new Fn(std::forward<F>(fn)));
+      invoke = [](EventRecord& e) {
+        Fn* f = *std::launder(reinterpret_cast<Fn**>(e.storage));
+        struct Destroyer {
+          Fn* f;
+          ~Destroyer() { delete f; }
+        } d{f};
+        (*f)();
+      };
+      destroy = [](EventRecord& e) {
+        delete *std::launder(reinterpret_cast<Fn**>(e.storage));
+      };
+    }
+  }
+
+  // Destroys the callable (if any) without running it. Safe on timers.
+  void DropPayload() noexcept {
+    if (destroy != nullptr) destroy(*this);
+  }
+
+  // Recycled records are NOT zeroed wholesale: each construction site
+  // resets exactly the fields its dispatch/drop paths read. A callable
+  // record needs guard == nullptr (is_timer) and cancelled == false; a
+  // timer record needs destroy == nullptr (DropPayload) and sets every
+  // guard field itself. Emplace overwrites invoke/destroy.
+};
+
+static_assert(sizeof(EventRecord) <= EventRecord::kRecordBytes + 63,
+              "EventRecord grew past its cache-line budget");
+
+// Free-list slab allocator for EventRecords. Grows in chunks; never
+// shrinks (a simulation's high-water mark is its working set). Single-
+// threaded by design, like everything else in one Simulation.
+class EventArena {
+ public:
+  EventArena() = default;
+  EventArena(const EventArena&) = delete;
+  EventArena& operator=(const EventArena&) = delete;
+
+  [[nodiscard]] EventRecord* Acquire() {
+    if (free_ == nullptr) Grow();
+    EventRecord* r = free_;
+    free_ = r->next;
+    ++live_;
+    return r;
+  }
+
+  void Release(EventRecord* r) noexcept {
+    assert(live_ > 0);
+    r->next = free_;
+    free_ = r;
+    --live_;
+  }
+
+  // Records currently checked out (queued or being dispatched).
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  // Total records ever carved out of slabs (the high-water footprint).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return chunks_.size() * kChunkRecords;
+  }
+
+ private:
+  static constexpr std::size_t kChunkRecords = 256;
+
+  void Grow() {
+    chunks_.push_back(std::make_unique<EventRecord[]>(kChunkRecords));
+    EventRecord* chunk = chunks_.back().get();
+    for (std::size_t i = kChunkRecords; i-- > 0;) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+  }
+
+  std::vector<std::unique_ptr<EventRecord[]>> chunks_;
+  EventRecord* free_ = nullptr;
+  std::size_t live_ = 0;
+};
+
+}  // namespace ods::sim

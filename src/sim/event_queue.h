@@ -1,0 +1,453 @@
+// Two-level calendar queue for the discrete-event engine.
+//
+// The old scheduler was one std::priority_queue<Event>: every push/pop
+// paid O(log n) comparator calls and moved a 64-byte std::function event
+// through the heap. This queue keeps the SAME total order — (t, seq),
+// i.e. time-ordered with FIFO for equal timestamps — but pays amortized
+// O(1) per event by routing records into four structures by distance
+// from the current time:
+//
+//   active   intrusive FIFO of records at exactly now_. Appends during
+//            dispatch carry larger seqs than anything present, so tail-
+//            append IS (t, seq) order. This is the ScheduleNow fast path.
+//   near     small binary min-heap on (t, seq) covering (now_,
+//            near_end_): the currently-draining calendar bucket.
+//   calendar kBuckets fixed-width buckets covering [near_end_,
+//            cal_base_ + kBuckets * kBucketNs). Each bucket is an
+//            intrusive FIFO; records are appended in schedule order, so
+//            equal-t records sit in seq order (see invariant note).
+//   far      min-heap on (t, seq) for everything beyond the calendar
+//            window. When the window is exhausted the calendar rebases
+//            at the earliest far record and records within the new
+//            window migrate into buckets; each record migrates at most
+//            once.
+//
+// Ordering invariant (load-bearing for determinism): within any bucket,
+// records with equal t appear in seq order. Two append sources exist —
+// direct Push (schedule order = seq order) and far-heap migration (pops
+// in (t, seq) order, and migration into a window always happens before
+// any direct Push into that window, because windows only move forward).
+//
+// Cancelled guarded timers (wait claimed by another source) are flagged
+// in place and lazily swept: when more than half the queued records are
+// cancelled, one O(n) pass reclaims them. This bounds live records at
+// ~2x live events, so abandoned timeouts never accumulate (the old
+// queue held every stale timer until its timestamp arrived).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/time.h"
+
+namespace ods::sim {
+
+class CalendarQueue {
+ public:
+  explicit CalendarQueue(EventArena& arena) : arena_(arena) {
+    buckets_.resize(kBuckets);
+  }
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t cancelled_pending() const noexcept {
+    return cancelled_;
+  }
+
+  // Fast path for records at exactly now_ (ScheduleNow): appends to the
+  // active FIFO with no routing. Callers must keep their clock in sync
+  // with the queue's (see AdvanceTo).
+  void PushNow(EventRecord* r) {
+    assert(r->t == now_);
+    ++size_;
+    AppendActive(r);
+  }
+
+  // Advances the queue clock without popping — used by RunUntil when the
+  // queue drains before its limit. Only valid when no queued record has
+  // t <= the new time (i.e. after Pop(t) returned nullptr).
+  void AdvanceTo(SimTime t) noexcept {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Inserts `r` (t and seq already set). t must be >= the time of the
+  // last popped record.
+  void Push(EventRecord* r) {
+    assert(r->t >= now_ && "cannot schedule into the past");
+    // First event into an empty queue re-anchors the calendar window at
+    // its timestamp; otherwise a drained queue would keep near_end_ at
+    // the old window's end and funnel a whole fresh batch into the near
+    // heap (degenerating to one big binary heap).
+    if (size_ == 0 && r->t > now_) {
+      cal_base_ = SimTime{(r->t.ns / kBucketNs) * kBucketNs};
+      cur_bucket_ = 0;
+      near_end_ = cal_base_;
+    }
+    ++size_;
+    if (r->t == now_) {
+      AppendActive(r);
+    } else if (r->t < near_end_) {
+      InsertNear(r);
+    } else if (r->t < CalEnd()) {
+      AppendBucket(BucketIndex(r->t), r);
+    } else {
+      HeapPush(far_, r);
+    }
+  }
+
+  // Pops the minimum-(t, seq) record with t <= limit, or nullptr.
+  // Cancelled timer records are reclaimed (released to the arena)
+  // transparently. The queue's notion of "now" advances to each popped
+  // record's timestamp.
+  [[nodiscard]] EventRecord* Pop(SimTime limit) {
+    for (;;) {
+      if (active_head_ != nullptr) {
+        if (now_ > limit) return nullptr;
+        EventRecord* r = active_head_;
+        active_head_ = r->next;
+        if (active_head_ == nullptr) active_tail_ = nullptr;
+        r->next = nullptr;
+        --size_;
+        if (r->cancelled) {
+          --cancelled_;
+          arena_.Release(r);
+          continue;
+        }
+        return r;
+      }
+      if (near_pos_ < near_.size()) {
+        const SimTime t = near_[near_pos_].t;
+        if (t > limit) return nullptr;
+        now_ = t;
+        EventRecord* first = near_[near_pos_++].rec;
+        if (near_pos_ >= near_.size() || near_[near_pos_].t != t) {
+          // Singleton timestamp (the common case for latency-spread
+          // events): dispatch directly, skipping the active FIFO.
+          // Records scheduled at t DURING its dispatch go to active and
+          // correctly run after it.
+          --size_;
+          if (first->cancelled) {
+            --cancelled_;
+            arena_.Release(first);
+            continue;
+          }
+          return first;
+        }
+        // Migrate the whole equal-t group to the active FIFO before
+        // dispatching any of it: records scheduled at t DURING dispatch
+        // must land behind the (smaller-seq) records already queued.
+        // The sorted array keeps equal-t runs contiguous in seq order.
+        AppendActive(first);
+        while (near_pos_ < near_.size() && near_[near_pos_].t == t) {
+          AppendActive(near_[near_pos_++].rec);
+        }
+        continue;
+      }
+      if (!AdvanceCalendar()) return nullptr;
+    }
+  }
+
+  // Flags a queued guarded-timer record as cancelled (its wait was
+  // claimed by another source). The record is reclaimed by the lazy
+  // sweep or when popped, whichever comes first.
+  void Cancel(EventRecord* r) noexcept {
+    assert(r->is_timer());
+    if (r->cancelled) return;
+    r->cancelled = true;
+    ++cancelled_;
+    MaybeSweep();
+  }
+
+  // Releases every queued record without running it. `drop` is called
+  // per record to destroy payloads before the arena reclaims the slot.
+  template <typename Fn>
+  void Clear(Fn&& drop) {
+    auto drain_list = [&](EventRecord*& head, EventRecord*& tail) {
+      for (EventRecord* r = head; r != nullptr;) {
+        EventRecord* next = r->next;
+        drop(r);
+        r = next;
+      }
+      head = tail = nullptr;
+    };
+    drain_list(active_head_, active_tail_);
+    for (std::size_t i = near_pos_; i < near_.size(); ++i) drop(near_[i].rec);
+    near_.clear();
+    near_pos_ = 0;
+    for (std::size_t i = cur_bucket_; i < kBuckets; ++i) {
+      for (const HeapEntry& e : buckets_[i].v) drop(e.rec);
+      buckets_[i].v.clear();
+    }
+    words_.fill(0);
+    sum_.fill(0);
+    for (const HeapEntry& e : far_) drop(e.rec);
+    far_.clear();
+    size_ = 0;
+    cancelled_ = 0;
+  }
+
+ private:
+  // ~2us buckets, ~2ms window: sized so fabric/CPU-scale latencies land
+  // in the calendar and only long timers (retry/lease timeouts) take the
+  // far-heap detour. Both are perf knobs, not correctness knobs.
+  static constexpr std::int64_t kBucketNs = 128;
+  static constexpr std::size_t kBuckets = 16384;
+
+  // Heap entries carry the (t, seq) key by value so sift compares touch
+  // only the contiguous heap vector, never the 192-byte records — heap
+  // traffic on cold records would otherwise be one cache miss per
+  // compare. The comparator is a strict total order (seq is unique), so
+  // pop order is deterministic no matter how the heap arranges ties
+  // internally.
+  struct HeapEntry {
+    SimTime t;
+    std::uint64_t seq;
+    EventRecord* rec;
+  };
+
+  // Entry buffers circulate: draining swaps the bucket's vector with
+  // near_'s spent one, so steady-state refills reuse warm capacity and
+  // allocate nothing.
+  struct Bucket {
+    std::vector<HeapEntry> v;
+  };
+
+  // Two-level occupancy bitmap over the buckets: one bit per bucket plus
+  // a summary bit per 64-bucket word. Advancing to the next non-empty
+  // bucket is a couple of mask-and-count-zeros steps instead of a linear
+  // scan, so fine-grained buckets stay cheap even for sparse workloads.
+  static constexpr std::size_t kWords = kBuckets / 64;
+  static constexpr std::size_t kSumWords = (kWords + 63) / 64;
+
+  void MarkBucket(std::size_t idx) noexcept {
+    words_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    sum_[idx >> 12] |= std::uint64_t{1} << ((idx >> 6) & 63);
+  }
+  void UnmarkBucket(std::size_t idx) noexcept {
+    words_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    if (words_[idx >> 6] == 0) {
+      sum_[idx >> 12] &= ~(std::uint64_t{1} << ((idx >> 6) & 63));
+    }
+  }
+  // First non-empty bucket index >= from, or kBuckets.
+  [[nodiscard]] std::size_t FindBucket(std::size_t from) const noexcept {
+    if (from >= kBuckets) return kBuckets;
+    std::size_t w = from >> 6;
+    const std::uint64_t first = words_[w] & (~std::uint64_t{0} << (from & 63));
+    if (first != 0) {
+      return (w << 6) + static_cast<std::size_t>(std::countr_zero(first));
+    }
+    ++w;
+    for (std::size_t sw = w >> 6; sw < kSumWords; ++sw, w = sw << 6) {
+      const std::uint64_t sm = sum_[sw] & (~std::uint64_t{0} << (w & 63));
+      if (sm != 0) {
+        const std::size_t w2 =
+            (sw << 6) + static_cast<std::size_t>(std::countr_zero(sm));
+        return (w2 << 6) +
+               static_cast<std::size_t>(std::countr_zero(words_[w2]));
+      }
+    }
+    return kBuckets;
+  }
+
+  [[nodiscard]] SimTime CalEnd() const noexcept {
+    return SimTime{cal_base_.ns +
+                   static_cast<std::int64_t>(kBuckets) * kBucketNs};
+  }
+  [[nodiscard]] std::size_t BucketIndex(SimTime t) const noexcept {
+    return static_cast<std::size_t>((t.ns - cal_base_.ns) / kBucketNs);
+  }
+
+  void AppendActive(EventRecord* r) noexcept {
+    r->next = nullptr;
+    if (active_tail_ != nullptr) {
+      active_tail_->next = r;
+    } else {
+      active_head_ = r;
+    }
+    active_tail_ = r;
+  }
+
+  void AppendBucket(std::size_t idx, EventRecord* r) {
+    assert(idx >= cur_bucket_ && idx < kBuckets);
+    Bucket& b = buckets_[idx];
+    if (b.v.empty()) MarkBucket(idx);
+    b.v.push_back(HeapEntry{r->t, r->seq, r});
+  }
+
+  static bool HeapAfter(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+  }
+  static bool EntryLess(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  // Inserts into the sorted portion of near_ at the right position.
+  // Rare (only sub-bucket-width timers land here while their bucket is
+  // draining); the common producers of near_ are whole-bucket migrations
+  // which sort once.
+  void InsertNear(EventRecord* r) {
+    const HeapEntry e{r->t, r->seq, r};
+    auto it = std::upper_bound(near_.begin() + static_cast<std::ptrdiff_t>(near_pos_),
+                               near_.end(), e, EntryLess);
+    near_.insert(it, e);
+  }
+  static void HeapPush(std::vector<HeapEntry>& h, EventRecord* r) {
+    h.push_back(HeapEntry{r->t, r->seq, r});
+    std::push_heap(h.begin(), h.end(), HeapAfter);
+  }
+  static EventRecord* HeapPop(std::vector<HeapEntry>& h) {
+    std::pop_heap(h.begin(), h.end(), HeapAfter);
+    EventRecord* r = h.back().rec;
+    h.pop_back();
+    return r;
+  }
+
+  // Moves the next non-empty bucket into the near heap, rebasing the
+  // calendar window from the far heap when the window is spent. Returns
+  // false when the queue is truly empty.
+  bool AdvanceCalendar() {
+    for (;;) {
+      cur_bucket_ = FindBucket(cur_bucket_);
+      // Keep near_end_ == cal_base_ + cur_bucket_ * W even when the scan
+      // exhausts the window without finding work: Push routes on
+      // near_end_, and a bucket index below cur_bucket_ would never be
+      // scanned again.
+      near_end_ = SimTime{cal_base_.ns +
+                          static_cast<std::int64_t>(cur_bucket_) * kBucketNs};
+      if (cur_bucket_ < kBuckets) {
+        Bucket& b = buckets_[cur_bucket_];
+        near_.swap(b.v);
+        b.v.clear();  // spent entries from the previous drain
+        near_pos_ = 0;
+        UnmarkBucket(cur_bucket_);
+        std::sort(near_.begin(), near_.end(), EntryLess);
+        ++cur_bucket_;
+        near_end_ = SimTime{cal_base_.ns +
+                            static_cast<std::int64_t>(cur_bucket_) * kBucketNs};
+        return true;
+      }
+      if (far_.empty()) return false;
+      // Rebase the window at the earliest far record (bucket-aligned so
+      // BucketIndex stays a shift) and migrate everything that now fits.
+      cal_base_ = SimTime{(far_.front().t.ns / kBucketNs) * kBucketNs};
+      cur_bucket_ = 0;
+      near_end_ = cal_base_;
+      const SimTime end = CalEnd();
+      while (!far_.empty() && far_.front().t < end) {
+        EventRecord* r = HeapPop(far_);
+        // Cancelled long timers are dropped here for free instead of
+        // waiting for a sweep or their (distant) timestamp.
+        if (r->cancelled) {
+          ReclaimCancelled(r);
+        } else {
+          AppendBucket(BucketIndex(r->t), r);
+        }
+      }
+    }
+  }
+
+  void MaybeSweep() {
+    if (cancelled_ < 64 || cancelled_ * 2 < size_) return;
+    auto sweep_list = [&](EventRecord*& head, EventRecord*& tail) {
+      EventRecord* new_head = nullptr;
+      EventRecord* new_tail = nullptr;
+      for (EventRecord* r = head; r != nullptr;) {
+        EventRecord* next = r->next;
+        if (r->cancelled) {
+          ReclaimCancelled(r);
+        } else {
+          r->next = nullptr;
+          if (new_tail != nullptr) {
+            new_tail->next = r;
+          } else {
+            new_head = r;
+          }
+          new_tail = r;
+        }
+        r = next;
+      }
+      head = new_head;
+      tail = new_tail;
+    };
+    auto sweep_heap = [&](std::vector<HeapEntry>& h) {
+      auto keep = h.begin();
+      for (const HeapEntry& e : h) {
+        if (e.rec->cancelled) {
+          ReclaimCancelled(e.rec);
+        } else {
+          *keep++ = e;
+        }
+      }
+      h.erase(keep, h.end());
+      std::make_heap(h.begin(), h.end(), HeapAfter);
+    };
+    sweep_list(active_head_, active_tail_);
+    {  // near_ is sorted; in-place filtering preserves the order.
+      auto keep = near_.begin();
+      for (std::size_t i = near_pos_; i < near_.size(); ++i) {
+        if (near_[i].rec->cancelled) {
+          ReclaimCancelled(near_[i].rec);
+        } else {
+          *keep++ = near_[i];
+        }
+      }
+      near_.erase(keep, near_.end());
+      near_pos_ = 0;
+    }
+    // Walk only occupied buckets (bitmap-guided): a sweep costs
+    // O(queued records), not O(kBuckets).
+    for (std::size_t i = FindBucket(cur_bucket_); i < kBuckets;
+         i = FindBucket(i + 1)) {
+      std::vector<HeapEntry>& v = buckets_[i].v;
+      if (v.empty()) continue;
+      auto keep = v.begin();
+      for (const HeapEntry& e : v) {
+        if (e.rec->cancelled) {
+          ReclaimCancelled(e.rec);
+        } else {
+          *keep++ = e;  // appends stay in (schedule = seq) order
+        }
+      }
+      v.erase(keep, v.end());
+      if (v.empty()) UnmarkBucket(i);
+    }
+    sweep_heap(far_);
+    assert(cancelled_ == 0);
+  }
+
+  void ReclaimCancelled(EventRecord* r) noexcept {
+    --cancelled_;
+    --size_;
+    arena_.Release(r);
+  }
+
+  EventArena& arena_;
+  SimTime now_{0};
+  SimTime near_end_{0};
+  SimTime cal_base_{0};
+  std::size_t cur_bucket_ = 0;
+  std::size_t size_ = 0;
+  std::size_t cancelled_ = 0;
+  EventRecord* active_head_ = nullptr;
+  EventRecord* active_tail_ = nullptr;
+  std::vector<HeapEntry> near_;  // sorted ascending; consumed from near_pos_
+  std::size_t near_pos_ = 0;
+  std::vector<Bucket> buckets_;
+  std::array<std::uint64_t, kWords> words_{};
+  std::array<std::uint64_t, kSumWords> sum_{};
+  std::vector<HeapEntry> far_;
+};
+
+}  // namespace ods::sim

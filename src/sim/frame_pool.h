@@ -1,0 +1,99 @@
+// Size-bucketed free-list pool for coroutine frames and other small,
+// hot, fixed-size engine allocations (future states). Profiling the
+// write-heavy benchmarks shows ~3.5 heap allocations per dispatched
+// event once the event queue itself is allocation-free — nearly all of
+// them coroutine frames (one per fiber root, task call and spawned
+// subtask) and shared future-state blocks. Pooling them removes the
+// allocator from the steady-state request path entirely, the same
+// policy EventArena and WaitPool apply to events and waits.
+//
+// Blocks are bucketed by size in 64-byte classes up to 2 KiB; larger
+// requests fall through to the global allocator. Freed blocks are kept
+// on a per-thread free list forever (high-water footprint, like the
+// arenas) — frame sizes are a small fixed set per binary, so the lists
+// converge to the per-size high-water mark of concurrently-live frames.
+// Per-thread state keeps parameter sweeps (one Simulation per host
+// thread, sharing nothing) safe without atomics on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ods::sim::detail {
+
+class FramePool {
+ public:
+  static void* Allocate(std::size_t n) {
+    const std::size_t idx = SizeClass(n);
+    if (idx >= kClasses) return ::operator new(n);
+    void*& head = Buckets()[idx];
+    if (head != nullptr) {
+      void* p = head;
+      head = *static_cast<void**>(p);
+      return p;
+    }
+    return ::operator new((idx + 1) * kGranule);
+  }
+
+  static void Free(void* p, std::size_t n) noexcept {
+    if (p == nullptr) return;
+    const std::size_t idx = SizeClass(n);
+    if (idx >= kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    void*& head = Buckets()[idx];
+    *static_cast<void**>(p) = head;  // reuse the block as the link node
+    head = p;
+  }
+
+ private:
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kClasses = 32;  // covers up to 2 KiB
+
+  static constexpr std::size_t SizeClass(std::size_t n) noexcept {
+    return (n + kGranule - 1) / kGranule - 1;  // n >= 1 always (frames)
+  }
+
+  static void** Buckets() noexcept {
+    thread_local void* buckets[kClasses] = {};
+    return buckets;
+  }
+};
+
+// Hooks a promise type's frame into the pool. Coroutine frame
+// allocation looks up operator new/delete in the promise's scope, and
+// inherited declarations count — deriving from this is all a promise
+// needs. Only the sized delete is declared so the bucket can be
+// recomputed without a header word.
+struct PooledFrame {
+  static void* operator new(std::size_t n) { return FramePool::Allocate(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    FramePool::Free(p, n);
+  }
+};
+
+// Minimal allocator for std::allocate_shared: puts the control block +
+// object in one pooled allocation of compile-time-known size.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() noexcept = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT(runtime/explicit)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(FramePool::Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    FramePool::Free(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace ods::sim::detail

@@ -61,9 +61,14 @@ void Process::Kill() {
   ++epoch_;
   auto waits = std::move(waits_);
   waits_.clear();
-  for (auto& ws : waits) {
-    if (ws->TryFire(WaitState::Why::kKilled)) {
-      sim_.ScheduleNow([ws] { ws->handle.resume(); });
+  for (WaitRef& ref : waits) {
+    WaitState* st = ref.get();
+    if (st != nullptr && st->TryFire(WaitState::Why::kKilled)) {
+      // The claim keeps the slot owned by its suspended awaiter until
+      // the frame unwinds, so the handle is stable until the resume
+      // event below runs (Shutdown pumps same-time events before
+      // dropping anything).
+      sim_.ScheduleNow([h = st->handle] { h.resume(); });
     }
   }
   // If no fiber was suspended (e.g. self-kill from a running fiber), the
@@ -89,20 +94,29 @@ void Process::Restart() {
   });
 }
 
-void Process::RegisterWait(const std::shared_ptr<WaitState>& st) {
+void Process::RegisterWait(WaitRef ref) {
   // Lazy compaction keeps the registry O(live waits) without per-resume
   // bookkeeping.
   if (waits_.size() >= 32 && waits_.size() % 32 == 0) {
-    std::erase_if(waits_, [](const auto& w) { return w->fired(); });
+    std::erase_if(waits_, [](const WaitRef& w) {
+      const WaitState* st = w.get();
+      return st == nullptr || st->fired();
+    });
   }
-  waits_.push_back(st);
+  waits_.push_back(ref);
 }
 
 void SleepAwaiter::await_suspend(std::coroutine_handle<> h) {
-  state_ = std::make_shared<WaitState>();
-  state_->handle = h;
-  proc_.RegisterWait(state_);
-  proc_.sim().TimerAfter(dur_, state_, WaitState::Why::kFulfilled);
+  WaitState* st = state_.Acquire(proc_.sim());
+  st->handle = h;
+  proc_.RegisterWait(WaitRef(st));
+  proc_.sim().TimerAfter(dur_, st, WaitState::Why::kFulfilled);
+}
+
+void HaltAwaiter::await_suspend(std::coroutine_handle<> h) {
+  WaitState* st = state_.Acquire(proc_.sim());
+  st->handle = h;
+  proc_.RegisterWait(WaitRef(st));
 }
 
 }  // namespace ods::sim

@@ -68,8 +68,10 @@ class Process {
     death_watchers_.push_back(std::move(fn));
   }
 
-  // Internal: wait registration used by all awaitable primitives.
-  void RegisterWait(const std::shared_ptr<WaitState>& st);
+  // Internal: wait registration used by all awaitable primitives. The
+  // registry holds weak WaitRefs; slots recycled by their awaiters read
+  // as null and are skipped by the kill path.
+  void RegisterWait(WaitRef ref);
 
  protected:
   // The process body. Subclasses implement their actor logic here.
@@ -82,9 +84,11 @@ class Process {
   virtual void OnRestart() {}
 
  private:
-  // Eager self-destroying coroutine wrapping one fiber.
+  // Eager self-destroying coroutine wrapping one fiber. The frame is
+  // pooled like task frames: one fiber root is spawned per in-flight
+  // request in the server processes.
   struct FiberHandle {
-    struct promise_type {
+    struct promise_type : detail::PooledFrame {
       FiberHandle get_return_object() noexcept { return {}; }
       std::suspend_never initial_suspend() noexcept { return {}; }
       std::suspend_never final_suspend() noexcept { return {}; }
@@ -102,7 +106,7 @@ class Process {
   bool started_ = false;
   int live_fibers_ = 0;
   std::uint64_t epoch_ = 0;  // incremented on Kill/Restart
-  std::vector<std::shared_ptr<WaitState>> waits_;
+  std::vector<WaitRef> waits_;
   std::vector<std::function<void()>> death_watchers_;
 };
 
@@ -127,7 +131,7 @@ class SleepAwaiter {
  private:
   Process& proc_;
   SimDuration dur_;
-  std::shared_ptr<WaitState> state_;
+  PooledWait state_;
 };
 
 inline auto Process::Sleep(SimDuration d) { return SleepAwaiter(*this, d); }
@@ -140,17 +144,14 @@ class HaltAwaiter {
     if (!proc_.alive()) throw ProcessKilled{};
     return false;
   }
-  void await_suspend(std::coroutine_handle<> h) {
-    state_ = std::make_shared<WaitState>();
-    state_->handle = h;
-    proc_.RegisterWait(state_);
-    // No timer: only Kill() can resume this wait.
-  }
+  // No timer: only Kill() can resume this wait. Defined in process.cc
+  // (needs the Simulation definition for the wait pool).
+  void await_suspend(std::coroutine_handle<> h);
   [[noreturn]] void await_resume() const { throw ProcessKilled{}; }
 
  private:
   Process& proc_;
-  std::shared_ptr<WaitState> state_;
+  PooledWait state_;
 };
 
 inline auto Process::Halt() { return HaltAwaiter(*this); }

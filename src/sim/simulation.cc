@@ -11,67 +11,69 @@ Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
 
 Simulation::~Simulation() { Shutdown(); }
 
-void Simulation::Schedule(SimTime t, std::function<void()> fn) {
+void Simulation::ScheduleTimer(SimTime t, WaitState* st, WaitState::Why why) {
   assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn), nullptr});
+  assert(st->timer_ev == nullptr && "at most one pending timer per wait");
+  EventRecord* r = arena_.Acquire();
+  r->t = t;
+  r->seq = next_seq_++;
+  r->destroy = nullptr;
+  r->cancelled = false;
+  r->guard = st;
+  r->guard_gen = st->gen;
+  r->timer_why = static_cast<std::uint8_t>(why);
+  st->timer_ev = r;
+  queue_.Push(r);
 }
 
-void Simulation::After(SimDuration d, std::function<void()> fn) {
-  Schedule(now_ + d, std::move(fn));
+void CancelPendingTimer(Simulation& sim, EventRecord* ev) noexcept {
+  sim.queue_.Cancel(ev);
 }
 
-void Simulation::ScheduleNow(std::function<void()> fn) {
-  Schedule(now_, std::move(fn));
-}
-
-void Simulation::ScheduleTimer(SimTime t, std::shared_ptr<WaitState> st,
-                               WaitState::Why why) {
-  assert(t >= now_ && "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++,
-                    [st, why] {
-                      if (st->TryFire(why)) st->handle.resume();
-                    },
-                    st});
-}
-
-// Pops the next runnable event. Guarded timer events whose wait was
-// already claimed are discarded without advancing the clock.
-bool Simulation::PopNext(Event& out, SimTime limit) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.t > limit) return false;
-    if (top.guard && top.guard->fired()) {
-      queue_.pop();  // stale timer: discard silently
-      continue;
+bool Simulation::DispatchOne(SimTime limit) {
+  for (;;) {
+    EventRecord* r = queue_.Pop(limit);
+    if (r == nullptr) return false;
+    if (r->is_timer()) {
+      WaitState* st = r->guard;
+      if (st->gen != r->guard_gen || st->fired()) {
+        // Stale timer (slot recycled, or wait claimed without the cancel
+        // path running): discard without advancing the clock.
+        arena_.Release(r);
+        continue;
+      }
+      now_ = r->t;
+      const auto why = static_cast<WaitState::Why>(r->timer_why);
+      // Detach before firing so TryFire doesn't try to cancel the very
+      // record being dispatched; release before resuming so the resumed
+      // fiber sees a consistent arena.
+      st->timer_ev = nullptr;
+      arena_.Release(r);
+      if (st->TryFire(why)) st->handle.resume();
+      return true;
     }
-    out = std::move(const_cast<Event&>(top));
-    queue_.pop();
+    now_ = r->t;
+    r->invoke(*r);  // runs and destroys the callable in place
+    arena_.Release(r);
     return true;
   }
-  return false;
 }
 
 std::uint64_t Simulation::Run() {
+  const SimTime limit{std::numeric_limits<std::int64_t>::max()};
   std::uint64_t n = 0;
-  Event ev;
-  while (PopNext(ev, SimTime{std::numeric_limits<std::int64_t>::max()})) {
-    now_ = ev.t;
-    ev.fn();
-    ++n;
-  }
+  while (DispatchOne(limit)) ++n;
   events_executed_ += n;
   return n;
 }
 
 std::uint64_t Simulation::RunUntil(SimTime t) {
   std::uint64_t n = 0;
-  Event ev;
-  while (PopNext(ev, t)) {
-    now_ = ev.t;
-    ev.fn();
-    ++n;
+  while (DispatchOne(t)) ++n;
+  if (now_ < t) {
+    now_ = t;
+    queue_.AdvanceTo(t);  // keep the ScheduleNow fast path valid
   }
-  if (now_ < t) now_ = t;
   events_executed_ += n;
   return n;
 }
@@ -83,13 +85,27 @@ void Simulation::Shutdown() {
   for (auto& p : processes_) p->Kill();
   // Kill schedules resume-with-kill events at the current time; pump the
   // queue until nothing remains at `now_`. Unwinding may cascade (lock
-  // releases resuming other fibers), all at the same timestamp.
-  Event ev;
-  while (PopNext(ev, now_)) ev.fn();
+  // releases resuming other fibers), all at the same timestamp. These
+  // pumped events intentionally do not count toward events_executed_.
+  while (DispatchOne(now_)) {
+  }
   // Drop any future events; their closures may hold shared state but
   // never run, which is safe.
-  while (!queue_.empty()) queue_.pop();
+  queue_.Clear([this](EventRecord* r) {
+    r->DropPayload();
+    arena_.Release(r);
+  });
   processes_.clear();
+}
+
+PooledWait::~PooledWait() {
+  if (st_ != nullptr) st_->sim->wait_pool().Release(st_);
+}
+
+WaitState* PooledWait::Acquire(Simulation& sim) {
+  assert(st_ == nullptr);
+  st_ = sim.wait_pool().Acquire();
+  return st_;
 }
 
 }  // namespace ods::sim

@@ -3,18 +3,25 @@
 // Simulation instance models one run of the whole cluster; parameter
 // sweeps run many Simulations concurrently on host threads (they share
 // nothing).
+//
+// Events are arena-allocated EventRecords dispatched through a calendar
+// queue (sim/event.h, sim/event_queue.h): the steady-state schedule/
+// dispatch cycle performs zero heap allocations. See DESIGN.md §6 for
+// the internals and the determinism invariants this file must preserve.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/trace.h"
+#include "sim/event.h"
+#include "sim/event_queue.h"
 #include "sim/time.h"
 #include "sim/wait_state.h"
 
@@ -52,23 +59,52 @@ class Simulation {
     return metrics_;
   }
 
-  // Schedules `fn` at absolute time `t` (>= Now()).
-  void Schedule(SimTime t, std::function<void()> fn);
+  // Schedules `fn` at absolute time `t` (>= Now()). The callable is
+  // constructed directly into an arena-allocated event record; callables
+  // up to EventRecord::kInlineBytes are stored inline with no heap
+  // allocation. These templates subsume the old
+  // `Schedule(SimTime, std::function<void()>)` overloads — a
+  // std::function argument still compiles (it is simply stored inline as
+  // the callable), so existing callers in bench/ and tests/ keep working,
+  // but new code should pass lambdas directly.
+  template <typename F>
+  void Schedule(SimTime t, F&& fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    EventRecord* r = arena_.Acquire();
+    r->t = t;
+    r->seq = next_seq_++;
+    r->guard = nullptr;
+    r->cancelled = false;
+    r->Emplace(std::forward<F>(fn));
+    queue_.Push(r);
+  }
   // Schedules `fn` after `d`.
-  void After(SimDuration d, std::function<void()> fn);
+  template <typename F>
+  void After(SimDuration d, F&& fn) {
+    Schedule(now_ + d, std::forward<F>(fn));
+  }
   // Schedules `fn` at the current time, after already-pending events at
   // this timestamp. This is how cross-process resumptions are serialized.
-  void ScheduleNow(std::function<void()> fn);
+  template <typename F>
+  void ScheduleNow(F&& fn) {
+    EventRecord* r = arena_.Acquire();
+    r->t = now_;
+    r->seq = next_seq_++;
+    r->guard = nullptr;
+    r->cancelled = false;
+    r->Emplace(std::forward<F>(fn));
+    queue_.PushNow(r);  // now_ == queue_.now() is a class invariant
+  }
 
   // Schedules a timer that claims `st` with `why` and resumes it. The
-  // event is guarded: if the wait was already claimed by another source
-  // (fulfilment, kill), the expired timer is discarded WITHOUT advancing
-  // the simulation clock — so abandoned timeouts never stretch a run.
-  void ScheduleTimer(SimTime t, std::shared_ptr<WaitState> st,
-                     WaitState::Why why);
-  void TimerAfter(SimDuration d, std::shared_ptr<WaitState> st,
-                  WaitState::Why why) {
-    ScheduleTimer(Now() + d, std::move(st), why);
+  // event is guarded: if the wait is claimed by another source
+  // (fulfilment, kill) first, the pending record is cancelled at claim
+  // time and reclaimed WITHOUT advancing the simulation clock — so
+  // abandoned timeouts neither stretch a run nor accumulate memory.
+  // At most one timer may be pending per wait state.
+  void ScheduleTimer(SimTime t, WaitState* st, WaitState::Why why);
+  void TimerAfter(SimDuration d, WaitState* st, WaitState::Why why) {
+    ScheduleTimer(Now() + d, st, why);
   }
 
   // Runs until the event queue drains. Returns the number of events run.
@@ -110,21 +146,34 @@ class Simulation {
   // leak even if the run was abandoned midway.
   void Shutdown();
 
- private:
-  struct Event {
-    SimTime t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    // Non-null for guarded timer events; see ScheduleTimer.
-    std::shared_ptr<WaitState> guard;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
-    }
-  };
+  // Pool of wait-state slots used by awaiters (sim/wait_state.h).
+  [[nodiscard]] WaitPool& wait_pool() noexcept { return wait_pool_; }
 
-  bool PopNext(Event& out, SimTime limit);
+  // Engine introspection for tests and benchmarks: arena/pool occupancy
+  // and queue depth. Live records bound the engine's memory footprint;
+  // the timer-reclamation test asserts they stay ~proportional to live
+  // (unclaimed) events rather than to every timer ever scheduled.
+  struct EngineStats {
+    std::size_t queued_events;      // records currently in the queue
+    std::size_t cancelled_pending;  // cancelled timers awaiting sweep
+    std::size_t live_records;       // arena records checked out
+    std::size_t record_capacity;    // arena high-water footprint
+    std::size_t live_waits;         // pool slots checked out
+    std::size_t wait_capacity;      // pool high-water footprint
+  };
+  [[nodiscard]] EngineStats engine_stats() const noexcept {
+    return EngineStats{queue_.size(),    queue_.cancelled_pending(),
+                       arena_.live(),    arena_.capacity(),
+                       wait_pool_.live(), wait_pool_.capacity()};
+  }
+
+ private:
+  friend void CancelPendingTimer(Simulation& sim, EventRecord* ev) noexcept;
+
+  // Pops and dispatches one event with t <= limit. Returns false when
+  // nothing runnable remains at or before `limit`. Stale guarded timers
+  // are reclaimed without advancing the clock or counting as executed.
+  bool DispatchOne(SimTime limit);
 
   SimTime now_{0};
   FaultPlan* fault_plan_ = nullptr;
@@ -133,7 +182,9 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  EventArena arena_;
+  CalendarQueue queue_{arena_};
+  WaitPool wait_pool_{*this};
   std::vector<std::unique_ptr<Process>> processes_;
   bool shut_down_ = false;
 };

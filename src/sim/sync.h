@@ -8,6 +8,11 @@
 // claimed by the kill path and the awaiter rethrows ProcessKilled, so
 // fibers unwind instead of hanging. Every wait is a one-shot WaitState —
 // late timers/sends against an already-resolved wait are no-ops.
+//
+// Wait states are pooled (sim/wait_state.h): awaiters own a slot for the
+// duration of one suspension; waiter queues hold weak WaitRefs that read
+// as null once the slot is recycled. The steady-state suspend/resume
+// path performs no heap allocation.
 #pragma once
 
 #include <cassert>
@@ -15,7 +20,9 @@
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "sim/frame_pool.h"
 #include "sim/process.h"
 #include "sim/simulation.h"
 
@@ -23,9 +30,12 @@ namespace ods::sim {
 
 namespace detail {
 
-inline void ResumeLater(Simulation& sim,
-                        const std::shared_ptr<WaitState>& st) {
-  sim.ScheduleNow([st] { st->handle.resume(); });
+// The claiming source owns the resumption: once TryFire succeeded the
+// slot stays checked out by its suspended awaiter until the frame
+// unwinds, so capturing the raw handle is safe (and two pointers smaller
+// than capturing a shared_ptr was).
+inline void ResumeLater(Simulation& sim, WaitState* st) {
+  sim.ScheduleNow([h = st->handle] { h.resume(); });
 }
 
 }  // namespace detail
@@ -39,7 +49,7 @@ class Future;
 template <typename T>
 struct FutureState {
   std::optional<T> value;
-  std::shared_ptr<WaitState> waiter;
+  WaitRef waiter;
 };
 
 // Single-producer, single-consumer one-shot. The Promise side may outlive
@@ -48,14 +58,18 @@ template <typename T>
 class Promise {
  public:
   explicit Promise(Simulation& sim)
-      : sim_(&sim), state_(std::make_shared<FutureState<T>>()) {}
+      : sim_(&sim),
+        // allocate_shared from the frame pool: one future is created per
+        // RPC/IO completion, right on the steady-state request path.
+        state_(std::allocate_shared<FutureState<T>>(
+            detail::PoolAllocator<FutureState<T>>())) {}
 
   void Set(T value) {
     assert(!state_->value.has_value() && "promise already resolved");
     state_->value = std::move(value);
-    if (state_->waiter &&
-        state_->waiter->TryFire(WaitState::Why::kFulfilled)) {
-      detail::ResumeLater(*sim_, state_->waiter);
+    if (WaitState* st = state_->waiter.get();
+        st != nullptr && st->TryFire(WaitState::Why::kFulfilled)) {
+      detail::ResumeLater(*sim_, st);
     }
   }
 
@@ -84,17 +98,17 @@ class Future {
     struct Awaiter {
       Process& proc;
       std::shared_ptr<FutureState<T>> fs;
-      std::shared_ptr<WaitState> ws;
+      PooledWait ws;
 
       bool await_ready() {
         if (!proc.alive()) throw ProcessKilled{};
         return fs->value.has_value();
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ws = std::make_shared<WaitState>();
-        ws->handle = h;
-        fs->waiter = ws;
-        proc.RegisterWait(ws);
+        WaitState* st = ws.Acquire(proc.sim());
+        st->handle = h;
+        fs->waiter = WaitRef(st);
+        proc.RegisterWait(WaitRef(st));
       }
       T await_resume() {
         if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
@@ -103,7 +117,7 @@ class Future {
         return std::move(*fs->value);
       }
     };
-    return Awaiter{proc, state_, nullptr};
+    return Awaiter{proc, state_, {}};
   }
 
   // co_await fut.WaitFor(proc, d) -> std::optional<T>; nullopt on timeout.
@@ -112,18 +126,18 @@ class Future {
       Process& proc;
       std::shared_ptr<FutureState<T>> fs;
       SimDuration timeout;
-      std::shared_ptr<WaitState> ws;
+      PooledWait ws;
 
       bool await_ready() {
         if (!proc.alive()) throw ProcessKilled{};
         return fs->value.has_value();
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ws = std::make_shared<WaitState>();
-        ws->handle = h;
-        fs->waiter = ws;
-        proc.RegisterWait(ws);
-        proc.sim().TimerAfter(timeout, ws, WaitState::Why::kTimeout);
+        WaitState* st = ws.Acquire(proc.sim());
+        st->handle = h;
+        fs->waiter = WaitRef(st);
+        proc.RegisterWait(WaitRef(st));
+        proc.sim().TimerAfter(timeout, st, WaitState::Why::kTimeout);
       }
       std::optional<T> await_resume() {
         if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
@@ -133,7 +147,7 @@ class Future {
         return std::move(*fs->value);
       }
     };
-    return Awaiter{proc, state_, timeout, nullptr};
+    return Awaiter{proc, state_, timeout, {}};
   }
 
  private:
@@ -169,7 +183,9 @@ template <typename T>
 // Channel
 
 // Unbounded MPMC FIFO. Senders never block; receivers await. Used as the
-// mailbox underlying NSK message IPC.
+// mailbox underlying NSK message IPC. Receiver-side state (one wait slot
+// plus an item slot) is pooled per channel, so steady-state send/receive
+// traffic does not touch the heap.
 template <typename T>
 class Channel {
  public:
@@ -177,11 +193,12 @@ class Channel {
 
   void Send(T item) {
     while (!recvers_.empty()) {
-      auto r = std::move(recvers_.front());
+      const RecvRef r = recvers_.front();
       recvers_.pop_front();
-      if (r->ws->TryFire(WaitState::Why::kFulfilled)) {
-        r->item = std::move(item);
-        detail::ResumeLater(*sim_, r->ws);
+      if (r.rs->ws.gen == r.gen &&
+          r.rs->ws.TryFire(WaitState::Why::kFulfilled)) {
+        r.rs->item = std::move(item);
+        detail::ResumeLater(*sim_, &r.rs->ws);
         return;
       }
       // else: that receiver was killed or timed out; try the next.
@@ -198,7 +215,7 @@ class Channel {
       Channel& ch;
       Process& proc;
       std::optional<T> immediate;
-      std::shared_ptr<RecvState> rs;
+      PooledRecv rs;
 
       bool await_ready() {
         if (!proc.alive()) throw ProcessKilled{};
@@ -210,14 +227,13 @@ class Channel {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        rs = std::make_shared<RecvState>();
-        rs->ws = std::make_shared<WaitState>();
-        rs->ws->handle = h;
-        ch.recvers_.push_back(rs);
-        proc.RegisterWait(rs->ws);
+        RecvState* s = rs.Acquire(ch);
+        s->ws.handle = h;
+        ch.recvers_.push_back(RecvRef{s, s->ws.gen});
+        proc.RegisterWait(WaitRef(&s->ws));
       }
       T await_resume() {
-        if (rs && rs->ws->why == WaitState::Why::kKilled) {
+        if (rs && rs->ws.why == WaitState::Why::kKilled) {
           throw ProcessKilled{};
         }
         if (!proc.alive()) throw ProcessKilled{};
@@ -226,7 +242,7 @@ class Channel {
         return std::move(*rs->item);
       }
     };
-    return Awaiter{*this, proc, std::nullopt, nullptr};
+    return Awaiter{*this, proc, std::nullopt, {}};
   }
 
   // co_await ch.ReceiveFor(proc, d) -> std::optional<T>; nullopt on timeout.
@@ -238,7 +254,7 @@ class Channel {
       Process& proc;
       SimDuration timeout;
       std::optional<T> immediate;
-      std::shared_ptr<RecvState> rs;
+      PooledRecv rs;
 
       bool await_ready() {
         if (!proc.alive()) throw ProcessKilled{};
@@ -250,36 +266,90 @@ class Channel {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        rs = std::make_shared<RecvState>();
-        rs->ws = std::make_shared<WaitState>();
-        rs->ws->handle = h;
-        ch.recvers_.push_back(rs);
-        proc.RegisterWait(rs->ws);
-        proc.sim().TimerAfter(timeout, rs->ws, WaitState::Why::kTimeout);
+        RecvState* s = rs.Acquire(ch);
+        s->ws.handle = h;
+        ch.recvers_.push_back(RecvRef{s, s->ws.gen});
+        proc.RegisterWait(WaitRef(&s->ws));
+        proc.sim().TimerAfter(timeout, &s->ws, WaitState::Why::kTimeout);
       }
       std::optional<T> await_resume() {
-        if (rs && rs->ws->why == WaitState::Why::kKilled) {
+        if (rs && rs->ws.why == WaitState::Why::kKilled) {
           throw ProcessKilled{};
         }
         if (!proc.alive()) throw ProcessKilled{};
         if (immediate.has_value()) return std::move(*immediate);
-        if (rs->ws->why == WaitState::Why::kTimeout) return std::nullopt;
+        if (rs->ws.why == WaitState::Why::kTimeout) return std::nullopt;
         assert(rs->item.has_value());
         return std::move(*rs->item);
       }
     };
-    return Awaiter{*this, proc, timeout, std::nullopt, nullptr};
+    return Awaiter{*this, proc, timeout, std::nullopt, {}};
   }
 
  private:
   struct RecvState {
-    std::shared_ptr<WaitState> ws;
+    WaitState ws;            // embedded: one pooled unit per receiver
     std::optional<T> item;
+    RecvState* next_free = nullptr;
   };
+  // Weak handle into recvers_; stale entries (receiver recycled after
+  // timeout/kill) have a mismatched generation and are skipped by Send.
+  struct RecvRef {
+    RecvState* rs;
+    std::uint64_t gen;
+  };
+
+  // RAII owner of one RecvState, held inside receive awaiters; same
+  // lifetime discipline as PooledWait (sim/wait_state.h).
+  class PooledRecv {
+   public:
+    PooledRecv() noexcept = default;
+    PooledRecv(const PooledRecv&) = delete;
+    PooledRecv& operator=(const PooledRecv&) = delete;
+    ~PooledRecv() {
+      if (rs_ != nullptr) ch_->ReleaseRecv(rs_);
+    }
+
+    RecvState* Acquire(Channel& ch) {
+      assert(rs_ == nullptr);
+      ch_ = &ch;
+      rs_ = ch.AcquireRecv();
+      return rs_;
+    }
+
+    [[nodiscard]] RecvState* get() const noexcept { return rs_; }
+    explicit operator bool() const noexcept { return rs_ != nullptr; }
+    RecvState* operator->() const noexcept { return rs_; }
+
+   private:
+    Channel* ch_ = nullptr;
+    RecvState* rs_ = nullptr;
+  };
+
+  RecvState* AcquireRecv() {
+    if (free_ == nullptr) {
+      nodes_.push_back(std::make_unique<RecvState>());
+      free_ = nodes_.back().get();
+    }
+    RecvState* rs = free_;
+    free_ = rs->next_free;
+    rs->next_free = nullptr;
+    rs->ws.sim = sim_;
+    return rs;
+  }
+
+  void ReleaseRecv(RecvState* rs) noexcept {
+    rs->ws.Recycle();  // invalidates the RecvRef in recvers_, if still there
+    rs->item.reset();
+    rs->next_free = free_;
+    free_ = rs;
+  }
 
   Simulation* sim_;
   std::deque<T> items_;
-  std::deque<std::shared_ptr<RecvState>> recvers_;
+  std::deque<RecvRef> recvers_;
+  std::vector<std::unique_ptr<RecvState>> nodes_;
+  RecvState* free_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -324,7 +394,7 @@ class SimMutex {
     struct Awaiter {
       SimMutex& m;
       Process& proc;
-      std::shared_ptr<WaitState> ws;
+      PooledWait ws;
 
       bool await_ready() {
         if (!proc.alive()) throw ProcessKilled{};
@@ -335,10 +405,10 @@ class SimMutex {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ws = std::make_shared<WaitState>();
-        ws->handle = h;
-        m.waiters_.push_back(ws);
-        proc.RegisterWait(ws);
+        WaitState* st = ws.Acquire(proc.sim());
+        st->handle = h;
+        m.waiters_.push_back(WaitRef(st));
+        proc.RegisterWait(WaitRef(st));
       }
       Guard await_resume() {
         if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
@@ -349,7 +419,7 @@ class SimMutex {
         return Guard(&m);
       }
     };
-    return Awaiter{*this, proc, nullptr};
+    return Awaiter{*this, proc, {}};
   }
 
   [[nodiscard]] bool held() const noexcept { return held_; }
@@ -359,11 +429,12 @@ class SimMutex {
 
   void Unlock() noexcept {
     while (!waiters_.empty()) {
-      auto ws = std::move(waiters_.front());
+      const WaitRef ref = waiters_.front();
       waiters_.pop_front();
-      if (ws->TryFire(WaitState::Why::kFulfilled)) {
+      if (WaitState* st = ref.get();
+          st != nullptr && st->TryFire(WaitState::Why::kFulfilled)) {
         // Ownership transfers; held_ stays true.
-        detail::ResumeLater(*sim_, ws);
+        detail::ResumeLater(*sim_, st);
         return;
       }
     }
@@ -372,7 +443,7 @@ class SimMutex {
 
   Simulation* sim_;
   bool held_ = false;
-  std::deque<std::shared_ptr<WaitState>> waiters_;
+  std::deque<WaitRef> waiters_;
 };
 
 // ---------------------------------------------------------------------------
@@ -387,9 +458,10 @@ class Latch {
   void Arrive() {
     assert(count_ > 0);
     if (--count_ == 0) {
-      for (auto& ws : waiters_) {
-        if (ws->TryFire(WaitState::Why::kFulfilled)) {
-          detail::ResumeLater(*sim_, ws);
+      for (const WaitRef& ref : waiters_) {
+        if (WaitState* st = ref.get();
+            st != nullptr && st->TryFire(WaitState::Why::kFulfilled)) {
+          detail::ResumeLater(*sim_, st);
         }
       }
       waiters_.clear();
@@ -402,30 +474,30 @@ class Latch {
     struct Awaiter {
       Latch& latch;
       Process& proc;
-      std::shared_ptr<WaitState> ws;
+      PooledWait ws;
 
       bool await_ready() {
         if (!proc.alive()) throw ProcessKilled{};
         return latch.count_ == 0;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        ws = std::make_shared<WaitState>();
-        ws->handle = h;
-        latch.waiters_.push_back(ws);
-        proc.RegisterWait(ws);
+        WaitState* st = ws.Acquire(proc.sim());
+        st->handle = h;
+        latch.waiters_.push_back(WaitRef(st));
+        proc.RegisterWait(WaitRef(st));
       }
       void await_resume() const {
         if (ws && ws->why == WaitState::Why::kKilled) throw ProcessKilled{};
         if (!proc.alive()) throw ProcessKilled{};
       }
     };
-    return Awaiter{*this, proc, nullptr};
+    return Awaiter{*this, proc, {}};
   }
 
  private:
   Simulation* sim_;
   int count_;
-  std::vector<std::shared_ptr<WaitState>> waiters_;
+  std::vector<WaitRef> waiters_;
 };
 
 }  // namespace ods::sim

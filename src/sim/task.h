@@ -11,6 +11,8 @@
 #include <optional>
 #include <utility>
 
+#include "sim/frame_pool.h"
+
 namespace ods::sim {
 
 template <typename T>
@@ -30,7 +32,10 @@ struct FinalAwaiter {
   void await_resume() const noexcept {}
 };
 
-struct PromiseBase {
+// Task frames allocate from the frame pool (sim/frame_pool.h): every
+// co_awaited task call in the steady-state request path would otherwise
+// be one heap allocation.
+struct PromiseBase : PooledFrame {
   std::coroutine_handle<> continuation = std::noop_coroutine();
   std::exception_ptr error;
 

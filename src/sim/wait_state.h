@@ -1,31 +1,167 @@
 // One-shot wait records shared between awaiters, completion sources and
 // the process kill path. Split out of process.h so Simulation can offer
 // guarded timers without a circular include.
+//
+// Wait states are POOLED: awaiters acquire a slot from the simulation's
+// WaitPool in await_suspend and release it when the awaiter object is
+// destroyed (after resume, or when a suspended frame is unwound). All
+// other parties — the process kill registry, channel receiver queues,
+// mutex/latch waiter lists, future waiter fields — hold weak WaitRefs: a
+// {pointer, generation} pair that reads as null once the slot has been
+// recycled. This replaces one shared_ptr control-block allocation plus
+// ref-count traffic per suspension with a free-list pop/push.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 namespace ods::sim {
+
+class Simulation;
+struct EventRecord;
 
 // Thrown at a killed fiber's suspension point. Intentionally not derived
 // from std::exception: only fiber roots are expected to catch it.
 struct ProcessKilled {};
 
+// Flags a queued guarded-timer record in `sim`'s calendar queue as
+// cancelled so it can be reclaimed before its timestamp. Defined in
+// simulation.cc; declared here so WaitState can reach the queue without
+// a circular include.
+void CancelPendingTimer(Simulation& sim, EventRecord* ev) noexcept;
+
 // Exactly one source (timer, fulfilment, kill) claims the right to resume
 // the waiting coroutine; the others become no-ops.
 struct WaitState {
-  enum class Why { kPending, kFulfilled, kTimeout, kKilled };
+  enum class Why : std::uint8_t { kPending, kFulfilled, kTimeout, kKilled };
 
   std::coroutine_handle<> handle;
+  Simulation* sim = nullptr;     // owning simulation (set by the pool)
+  WaitState* next_free = nullptr;
+  std::uint64_t gen = 0;         // bumped on recycle; stale WaitRefs go null
+  // The pending guarded-timer record armed against this wait, if any.
+  // Claiming the wait cancels it, which is what keeps abandoned timeouts
+  // from accumulating in the event queue (they are reclaimed at claim
+  // time, not at expiry time).
+  EventRecord* timer_ev = nullptr;
   Why why = Why::kPending;
 
   bool TryFire(Why w) noexcept {
     if (why != Why::kPending) return false;
     why = w;
+    if (timer_ev != nullptr) {
+      CancelPendingTimer(*sim, timer_ev);
+      timer_ev = nullptr;
+    }
     return true;
   }
   [[nodiscard]] bool fired() const noexcept { return why != Why::kPending; }
+
+  // Returns the slot to "never waited on" state and invalidates every
+  // outstanding WaitRef. Called by the pool on release; also usable for
+  // wait states embedded in other pooled objects (channel RecvStates).
+  void Recycle() noexcept {
+    if (timer_ev != nullptr) {
+      CancelPendingTimer(*sim, timer_ev);
+      timer_ev = nullptr;
+    }
+    handle = {};
+    why = Why::kPending;
+    ++gen;
+  }
+};
+
+// Weak handle to a pooled WaitState. get() yields the slot only while
+// the generation it was captured at is still current; after the owning
+// awaiter releases the slot, every outstanding WaitRef reads as null.
+class WaitRef {
+ public:
+  WaitRef() noexcept = default;
+  explicit WaitRef(WaitState* st) noexcept : st_(st), gen_(st->gen) {}
+
+  [[nodiscard]] WaitState* get() const noexcept {
+    return st_ != nullptr && st_->gen == gen_ ? st_ : nullptr;
+  }
+  explicit operator bool() const noexcept { return get() != nullptr; }
+
+ private:
+  WaitState* st_ = nullptr;
+  std::uint64_t gen_ = 0;
+};
+
+// Free-list pool of WaitStates, owned by the Simulation. Grows in chunks
+// and never shrinks; the high-water mark is the maximum number of
+// concurrently suspended fibers, which is small and stable.
+class WaitPool {
+ public:
+  explicit WaitPool(Simulation& sim) noexcept : sim_(sim) {}
+  WaitPool(const WaitPool&) = delete;
+  WaitPool& operator=(const WaitPool&) = delete;
+
+  [[nodiscard]] WaitState* Acquire() {
+    if (free_ == nullptr) Grow();
+    WaitState* st = free_;
+    free_ = st->next_free;
+    st->next_free = nullptr;
+    st->sim = &sim_;
+    ++live_;
+    return st;
+  }
+
+  void Release(WaitState* st) noexcept {
+    assert(live_ > 0);
+    st->Recycle();
+    st->next_free = free_;
+    free_ = st;
+    --live_;
+  }
+
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return chunks_.size() * kChunkSlots;
+  }
+
+ private:
+  static constexpr std::size_t kChunkSlots = 64;
+
+  void Grow() {
+    chunks_.push_back(std::make_unique<WaitState[]>(kChunkSlots));
+    WaitState* chunk = chunks_.back().get();
+    for (std::size_t i = kChunkSlots; i-- > 0;) {
+      chunk[i].next_free = free_;
+      free_ = &chunk[i];
+    }
+  }
+
+  Simulation& sim_;
+  std::vector<std::unique_ptr<WaitState[]>> chunks_;
+  WaitState* free_ = nullptr;
+  std::size_t live_ = 0;
+};
+
+// RAII owner of one pooled slot, held inside awaiter objects. The slot
+// is acquired lazily in await_suspend and released when the awaiter is
+// destroyed — which happens after await_resume on the normal path, and
+// during frame destruction when a suspended fiber is unwound, so the
+// slot can never leak.
+class PooledWait {
+ public:
+  PooledWait() noexcept = default;
+  PooledWait(const PooledWait&) = delete;
+  PooledWait& operator=(const PooledWait&) = delete;
+  ~PooledWait();
+
+  WaitState* Acquire(Simulation& sim);
+
+  [[nodiscard]] WaitState* get() const noexcept { return st_; }
+  explicit operator bool() const noexcept { return st_ != nullptr; }
+  WaitState* operator->() const noexcept { return st_; }
+
+ private:
+  WaitState* st_ = nullptr;
 };
 
 }  // namespace ods::sim

@@ -1,12 +1,13 @@
 #include "tp/audit.h"
 
+#include <cassert>
+
 #include "common/crc32.h"
 #include "common/serialize.h"
 
 namespace ods::tp {
 
-std::vector<std::byte> AuditRecord::Serialize() const {
-  Serializer s;
+void AuditRecord::SerializeInto(Serializer& s) const {
   s.PutU64(lsn);
   s.PutU64(txn);
   s.PutEnum(type);
@@ -14,6 +15,12 @@ std::vector<std::byte> AuditRecord::Serialize() const {
   s.PutU64(key);
   s.PutBlob(after_image);
   s.PutBlob(before_image);
+}
+
+std::vector<std::byte> AuditRecord::Serialize() const {
+  Serializer s;
+  s.Reserve(WireSize() - kFrameOverhead);
+  SerializeInto(s);
   return std::move(s).Take();
 }
 
@@ -32,15 +39,21 @@ std::optional<AuditRecord> AuditRecord::Deserialize(
 std::size_t AuditRecord::WireSize() const noexcept {
   // Header fields + two length-prefixed blobs + frame overhead.
   return 8 + 8 + 4 + 4 + 8 + 4 + after_image.size() + 4 +
-         before_image.size() + 8;
+         before_image.size() + kFrameOverhead;
 }
 
 void FrameRecord(const AuditRecord& rec, std::vector<std::byte>& out) {
-  const std::vector<std::byte> payload = rec.Serialize();
+  // Serialize straight into `out` — the payload size is known up front,
+  // so the frame needs no temporary payload vector and at most one
+  // reallocation of the accumulating buffer.
+  const std::size_t payload_size = rec.WireSize() - kFrameOverhead;
   Serializer s(std::move(out));
-  s.PutU32(static_cast<std::uint32_t>(payload.size()));
-  s.PutBytes(payload);
-  s.PutU32(Crc32c(payload));
+  s.Reserve(payload_size + kFrameOverhead);
+  s.PutU32(static_cast<std::uint32_t>(payload_size));
+  const std::size_t start = s.size();
+  rec.SerializeInto(s);
+  assert(s.size() - start == payload_size && "WireSize out of sync");
+  s.PutU32(Crc32c(std::span(s.bytes()).subspan(start)));
   out = std::move(s).Take();
 }
 

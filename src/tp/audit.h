@@ -15,7 +15,14 @@
 
 #include "common/status.h"
 
+namespace ods {
+class Serializer;
+}
+
 namespace ods::tp {
+
+// Frame overhead around each record: [len u32] ... [crc u32].
+inline constexpr std::size_t kFrameOverhead = 8;
 
 enum class AuditType : std::uint32_t {
   kUpdate = 1,   // redo/undo images for one record mutation
@@ -34,6 +41,9 @@ struct AuditRecord {
   std::vector<std::byte> before_image;  // undo (empty for inserts)
 
   [[nodiscard]] std::vector<std::byte> Serialize() const;
+  // Appends the unframed payload to an existing serializer (framing and
+  // batch encoders reuse the caller's buffer instead of a temporary).
+  void SerializeInto(Serializer& s) const;
   static std::optional<AuditRecord> Deserialize(
       std::span<const std::byte> bytes);
 

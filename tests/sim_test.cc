@@ -4,6 +4,8 @@
 // unwind cleanly, release resources, and never resume dead fibers).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -585,6 +587,195 @@ TEST(ShutdownTest, AbandonedSimulationUnwindsCleanly) {
     EXPECT_FALSE(destructor_ran);
   }
   EXPECT_TRUE(destructor_ran);
+}
+
+// ------------------------------------------------- calendar queue shape
+//
+// The calendar queue routes records into four tiers (active FIFO, near
+// sorted array, fixed-width buckets, far heap) by distance from now.
+// These tests pin the one observable contract — global (t, seq) order —
+// across tier boundaries, window rebases and mid-dispatch scheduling.
+
+// Deterministic xorshift so the "random" schedule is reproducible.
+std::uint64_t NextRand(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+TEST(CalendarQueueTest, RandomScheduleMatchesReferenceOrder) {
+  // Timestamps drawn across bucket width (128ns), the calendar window
+  // (~2.1ms) and the far tier, including duplicates. The execution
+  // order must equal a stable sort by time (stable = FIFO for ties).
+  Simulation sim;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  struct Ref {
+    std::int64_t t;
+    int id;
+  };
+  std::vector<Ref> expect;
+  std::vector<int> got;
+  for (int i = 0; i < 2000; ++i) {
+    // Mix scales: same-bucket, in-window, and beyond-window times.
+    const std::uint64_t r = NextRand(rng);
+    std::int64_t t = 0;
+    switch (r % 4) {
+      case 0: t = static_cast<std::int64_t>(r % 200); break;          // dense
+      case 1: t = static_cast<std::int64_t>(r % 100'000); break;      // window
+      case 2: t = static_cast<std::int64_t>(r % 10'000'000); break;   // far
+      default: t = static_cast<std::int64_t>(r % 50); break;          // ties
+    }
+    expect.push_back(Ref{t, i});
+    sim.Schedule(SimTime{t}, [&got, i] { got.push_back(i); });
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Ref& a, const Ref& b) { return a.t < b.t; });
+  sim.Run();
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i].id) << "divergence at index " << i;
+  }
+}
+
+TEST(CalendarQueueTest, EqualTimestampFifoAcrossTiers) {
+  // Three events at the same far timestamp scheduled before the window
+  // reaches it (far heap -> migration -> bucket), then two more at that
+  // timestamp scheduled mid-dispatch of an earlier event (direct bucket
+  // append). Migration pops in (t, seq) order and happens before any
+  // direct push into the rebased window, so FIFO survives the detour.
+  Simulation sim;
+  std::vector<int> order;
+  const SimTime far{5'000'000};  // beyond the ~2.1ms window
+  for (int i = 0; i < 3; ++i) {
+    sim.Schedule(far, [&order, i] { order.push_back(i); });
+  }
+  sim.Schedule(SimTime{100}, [&] {
+    for (int i = 3; i < 5; ++i) {
+      sim.Schedule(far, [&order, i] { order.push_back(i); });
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sim.Now(), far);
+}
+
+TEST(CalendarQueueTest, ScheduleNowDuringDispatchRunsAfterQueuedPeers) {
+  // Events appended at `now` during dispatch must run after records
+  // already queued at the same timestamp — regardless of whether the
+  // peers came from the active FIFO, a sorted-near group, or a bucket.
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(SimTime{10}, [&] {
+    order.push_back(0);
+    sim.ScheduleNow([&] { order.push_back(3); });
+  });
+  sim.Schedule(SimTime{10}, [&] { order.push_back(1); });
+  sim.Schedule(SimTime{10}, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(CalendarQueueTest, RunUntilStopsAtTierBoundaries) {
+  // RunUntil limits that land exactly on, between, and beyond queued
+  // timestamps — including one past the calendar window so the queue
+  // must rebase mid-run — never run a late event early.
+  Simulation sim;
+  std::vector<std::int64_t> ran;
+  const std::int64_t ts[] = {100, 128, 129, 2'000'000, 2'097'153, 9'000'000};
+  for (std::int64_t t : ts) {
+    sim.Schedule(SimTime{t}, [&ran, t] { ran.push_back(t); });
+  }
+  sim.RunUntil(SimTime{100});  // exactly the first event
+  EXPECT_EQ(ran, (std::vector<std::int64_t>{100}));
+  sim.RunUntil(SimTime{128});  // bucket-width boundary
+  EXPECT_EQ(ran, (std::vector<std::int64_t>{100, 128}));
+  sim.RunUntil(SimTime{2'000'000});
+  EXPECT_EQ(ran, (std::vector<std::int64_t>{100, 128, 129, 2'000'000}));
+  sim.Run();
+  EXPECT_EQ(ran.back(), 9'000'000);
+  EXPECT_EQ(sim.Now(), SimTime{9'000'000});
+}
+
+TEST(CalendarQueueTest, DrainedQueueReanchorsWindow) {
+  // After the queue drains completely, the next schedule far in the
+  // future must re-anchor the calendar window at its timestamp instead
+  // of funneling everything into the far heap through a stale window.
+  Simulation sim;
+  int ran = 0;
+  sim.Schedule(SimTime{50}, [&] { ++ran; });
+  sim.Run();
+  for (int burst = 1; burst <= 3; ++burst) {
+    const std::int64_t base = burst * 100'000'000LL;  // 100ms apart
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i) {
+      sim.Schedule(SimTime{base + i * 97}, [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    ASSERT_EQ(order.size(), 100u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+    ++ran;
+  }
+  EXPECT_EQ(ran, 4);
+}
+
+// ------------------------------------------------ timer memory retention
+//
+// The seed engine held every guarded timer in its priority queue until
+// the timer's timestamp arrived, even when the wait had long since been
+// claimed — 10k abandoned 30s timeouts meant 10k dead closures pinned
+// for 30 virtual seconds. The calendar queue cancels the pending record
+// at claim time and reclaims cancelled records in bulk sweeps, so live
+// state tracks live (unclaimed) waits.
+
+TEST(TimerReclamationTest, AbandonedTimeoutsDoNotAccumulate) {
+  Simulation sim;
+  constexpr int kOps = 10'000;
+  constexpr std::size_t kLiveBound = 1024;  // ~sweep threshold, not ~kOps
+  std::size_t max_live_records = 0;
+  std::size_t max_live_waits = 0;
+  for (int i = 0; i < kOps; ++i) {
+    // Arm a long guarded timeout, then immediately claim the wait from
+    // the "fulfilled" side — the common RPC case where the reply beats
+    // the timer. The timer record is now garbage for 30 virtual seconds.
+    WaitState* st = sim.wait_pool().Acquire();
+    sim.ScheduleTimer(sim.Now() + Seconds(30), st, WaitState::Why::kTimeout);
+    ASSERT_TRUE(st->TryFire(WaitState::Why::kFulfilled));
+    sim.wait_pool().Release(st);
+    const Simulation::EngineStats stats = sim.engine_stats();
+    max_live_records = std::max(max_live_records, stats.live_records);
+    max_live_waits = std::max(max_live_waits, stats.live_waits);
+  }
+  // Live state must be bounded by the sweep threshold, not by the number
+  // of abandoned timers. (The seed engine would sit at ~kOps here.)
+  EXPECT_LT(max_live_records, kLiveBound);
+  EXPECT_LE(max_live_waits, 1u);
+  const Simulation::EngineStats stats = sim.engine_stats();
+  EXPECT_LT(stats.record_capacity, kLiveBound);  // arena never grew past it
+  EXPECT_LT(stats.wait_capacity, 128u);
+  // Nothing left to run: every timer was cancelled and swept or will be
+  // discarded on pop without executing.
+  EXPECT_EQ(sim.Run(), 0u);
+  EXPECT_EQ(sim.engine_stats().queued_events, 0u);
+  EXPECT_EQ(sim.engine_stats().live_records, 0u);
+}
+
+TEST(TimerReclamationTest, MixedLiveAndAbandonedTimersKeepLiveOnes) {
+  // Interleave abandoned timeouts with timers that must still fire:
+  // sweeps reclaim only cancelled records.
+  Simulation sim;
+  int fired = 0;
+  for (int i = 0; i < 500; ++i) {
+    WaitState* abandoned = sim.wait_pool().Acquire();
+    sim.ScheduleTimer(sim.Now() + Seconds(7), abandoned,
+                      WaitState::Why::kTimeout);
+    ASSERT_TRUE(abandoned->TryFire(WaitState::Why::kFulfilled));
+    sim.wait_pool().Release(abandoned);
+    sim.After(Microseconds(i + 1), [&fired] { ++fired; });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 500);
+  EXPECT_EQ(sim.engine_stats().live_records, 0u);
 }
 
 }  // namespace
