@@ -180,10 +180,12 @@ struct ShapeResult {
 };
 
 // Spread: every event at a distinct timestamp (pure queue churn, no
-// same-time bursts). 97 ns spacing scatters events across calendar
-// buckets without leaving them adjacent.
+// same-time bursts). The default 97 ns spacing scatters events across
+// calendar buckets without leaving them adjacent; wide spacings push
+// the population past the inner calendar window entirely.
 template <typename Engine>
-ShapeResult RunSpread(long depth, long events_per_rep) {
+ShapeResult RunSpread(long depth, long events_per_rep,
+                      long long spacing_ns = 97) {
   Engine eng;
   long long base = 1;
   const long fills = std::max(1L, events_per_rep / depth);
@@ -199,9 +201,10 @@ ShapeResult RunSpread(long depth, long events_per_rep) {
     const auto t0 = std::chrono::steady_clock::now();
     for (long f = 0; f < fills; ++f) {
       for (long i = 0; i < depth; ++i) {
-        eng.Schedule(sim::SimTime{base + i * 97}, [&sink] { sink = sink + 1; });
+        eng.Schedule(sim::SimTime{base + i * spacing_ns},
+                     [&sink] { sink = sink + 1; });
       }
-      base += depth * 97 + 1000;
+      base += depth * spacing_ns + 1000;
       eng.Run();
     }
     const auto t1 = std::chrono::steady_clock::now();
@@ -439,6 +442,21 @@ void RunDispatchSuite(bench::BenchJson& json) {
           "new=%.4f/event (steady state)\n",
           legacy.allocs_per_event, fresh.allocs_per_event);
     }
+  }
+  // Wide spread: 100k events spaced 50us apart span ~5s of simulated
+  // time — far past the ~2ms inner calendar window. Before the outer
+  // calendar every one of these took the far-heap detour (an O(log n)
+  // sift per push at depth 100k); with it they land in O(1) outer
+  // buckets and expand window-by-window.
+  {
+    ShapeResult legacy, fresh;
+    for (int alt = 0; alt < kAlternations; ++alt) {
+      legacy = BestOf(
+          RunSpread<LegacyEngine>(100000, kLegacyBudget, 50'000), legacy);
+      fresh = BestOf(
+          RunSpread<sim::Simulation>(100000, kNewBudget, 50'000), fresh);
+    }
+    ReportDispatchCell(json, "widespread", 100000, legacy, fresh);
   }
   // Resumption-burst shapes at the 10k working depth.
   {

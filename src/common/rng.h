@@ -64,6 +64,20 @@ class Rng {
   // Derives an independent stream (for a child process / device).
   [[nodiscard]] Rng Fork() noexcept { return Rng(Next() ^ 0xA5A5A5A5DEADBEEFull); }
 
+  // Positionally-stable stream derivation: stream `k` of a master seed is
+  // the same Rng no matter how many other streams exist or in what order
+  // they are created (unlike Fork(), which advances the parent). Scaling
+  // a rig from 4 drivers to 1000 — or from 1 shard to 8 — therefore never
+  // perturbs the draws of the streams that were already there.
+  [[nodiscard]] static Rng ForStream(std::uint64_t master_seed,
+                                     std::uint64_t stream) noexcept {
+    // SplitMix64 finalizer over the (seed, stream) pair.
+    std::uint64_t z = master_seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
   // UniformRandomBitGenerator interface for <algorithm>/<random> interop.
   using result_type = std::uint64_t;
   static constexpr result_type min() noexcept { return 0; }

@@ -28,8 +28,8 @@ Task<Result<PmRegion>> PmClient::Create(const std::string& name,
   s.PutU32(static_cast<std::uint32_t>(access_list.size()));
   for (std::uint32_t id : access_list) s.PutU32(id);
 
-  auto r = co_await host_->Call(pmm_service_, kPmCreateRegion,
-                                std::move(s).Take());
+  std::string owner = RouteFor(name);
+  auto r = co_await host_->Call(owner, kPmCreateRegion, std::move(s).Take());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok() && r->status.code() != ErrorCode::kAlreadyExists) {
     co_return r->status;
@@ -38,26 +38,26 @@ Task<Result<PmRegion>> PmClient::Create(const std::string& name,
   if (!handle) {
     co_return Status(ErrorCode::kInternal, "malformed create reply");
   }
-  co_return PmRegion(*this, *host_, std::move(*handle));
+  co_return PmRegion(*this, *host_, std::move(*handle), std::move(owner));
 }
 
 Task<Result<PmRegion>> PmClient::Open(const std::string& name) {
   Serializer s;
   s.PutString(name);
   s.PutU32(host_->cpu().endpoint().id().value);
-  auto r = co_await host_->Call(pmm_service_, kPmOpenRegion,
-                                std::move(s).Take());
+  std::string owner = RouteFor(name);
+  auto r = co_await host_->Call(owner, kPmOpenRegion, std::move(s).Take());
   if (!r.ok()) co_return r.status();
   if (!r->status.ok()) co_return r->status;
   auto handle = RegionHandle::Deserialize(r->payload);
   if (!handle) co_return Status(ErrorCode::kInternal, "malformed open reply");
-  co_return PmRegion(*this, *host_, std::move(*handle));
+  co_return PmRegion(*this, *host_, std::move(*handle), std::move(owner));
 }
 
 Task<Status> PmClient::Delete(const std::string& name) {
   Serializer s;
   s.PutString(name);
-  auto r = co_await host_->Call(pmm_service_, kPmDeleteRegion,
+  auto r = co_await host_->Call(RouteFor(name), kPmDeleteRegion,
                                 std::move(s).Take());
   if (!r.ok()) co_return r.status();
   co_return r->status;
@@ -98,7 +98,7 @@ sim::Simulation* PmRegion::simulation() noexcept {
 Task<bool> PmRegion::ReportDeviceDown(std::uint32_t endpoint) {
   Serializer s;
   s.PutU32(endpoint);
-  auto r = co_await host_->Call(client_->pmm_service(), kPmMirrorDown,
+  auto r = co_await host_->Call(owner_service_, kPmMirrorDown,
                                 std::move(s).Take());
   if (!r.ok() || !r->status.ok()) co_return false;
   Deserializer d(r->payload);

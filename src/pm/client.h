@@ -22,6 +22,7 @@
 #include "common/stats.h"
 #include "nsk/process.h"
 #include "pm/manager.h"
+#include "pm/shard_map.h"
 
 namespace ods::pm {
 
@@ -125,10 +126,17 @@ class PmRegion {
   // pipeline reach the tracer/metrics without knowing about nsk.
   [[nodiscard]] sim::Simulation* simulation() noexcept;
 
+  // Service name of the PMM pair owning this region (the routed shard).
+  [[nodiscard]] const std::string& owner_service() const noexcept {
+    return owner_service_;
+  }
+
  private:
   friend class PmClient;
-  PmRegion(PmClient& client, nsk::NskProcess& host, RegionHandle handle)
-      : client_(&client), host_(&host), handle_(std::move(handle)) {}
+  PmRegion(PmClient& client, nsk::NskProcess& host, RegionHandle handle,
+           std::string owner_service)
+      : client_(&client), host_(&host), handle_(std::move(handle)),
+        owner_service_(std::move(owner_service)) {}
 
   // Tells the PMM a device looks dead and refreshes the handle. Returns
   // true only once the PMM acknowledged, i.e. the role change is durable
@@ -161,6 +169,7 @@ class PmRegion {
   PmClient* client_ = nullptr;
   nsk::NskProcess* host_ = nullptr;
   RegionHandle handle_;
+  std::string owner_service_;
   std::uint64_t writes_ = 0;
   std::uint64_t bytes_written_ = 0;
 };
@@ -217,7 +226,17 @@ class PmClient {
   // fabric endpoint is the RDMA initiator). `pmm_service` is the PMM
   // pair's service name.
   PmClient(nsk::NskProcess& host, std::string pmm_service)
-      : host_(&host), pmm_service_(std::move(pmm_service)) {}
+      : host_(&host), map_(pmm_service, 1),
+        pmm_service_(std::move(pmm_service)) {}
+
+  // Shard-routed client: control operations for a region go to the shard
+  // the map places that region name on; each returned PmRegion stays
+  // bound to its owning shard for later failure reports. Volume-wide
+  // calls (Info, Resilver) address shard 0 — use a per-shard plain
+  // client to manage other shards individually.
+  PmClient(nsk::NskProcess& host, ShardMap map)
+      : host_(&host), map_(std::move(map)),
+        pmm_service_(map_.ServiceForShard(0)) {}
 
   // Creates a region of `length` bytes. `access_list` restricts which
   // CPUs (fabric endpoints) may touch it; empty = any. The caller's CPU
@@ -239,12 +258,19 @@ class PmClient {
   [[nodiscard]] const std::string& pmm_service() const noexcept {
     return pmm_service_;
   }
+  [[nodiscard]] const ShardMap& shard_map() const noexcept { return map_; }
+  // Service owning `name` under this client's map (== pmm_service() for
+  // an unsharded client).
+  [[nodiscard]] std::string RouteFor(const std::string& name) const {
+    return map_.ServiceFor(name);
+  }
   [[nodiscard]] nsk::NskProcess& host() noexcept { return *host_; }
 
  private:
   friend class PmRegion;
 
   nsk::NskProcess* host_;
+  ShardMap map_;
   std::string pmm_service_;
 };
 

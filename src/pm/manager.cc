@@ -51,13 +51,15 @@ std::optional<RegionHandle> RegionHandle::Deserialize(
 PmManager::PmManager(nsk::Cluster& cluster, int cpu_index,
                      std::string service_name, std::string member_name,
                      PmDevice primary, PmDevice mirror,
-                     std::string volume_name)
+                     std::string volume_name, ShardIdentity shard)
     : PairMember(cluster, cpu_index, std::move(service_name),
                  std::move(member_name)),
       primary_(primary), mirror_(mirror), commit_mutex_(cluster.sim()) {
   meta_.volume_name = std::move(volume_name);
   meta_.data_capacity = std::min(primary_.capacity(), mirror_.capacity());
   meta_.free_list = {FreeExtent{0, meta_.data_capacity}};
+  meta_.shard_count = shard.count == 0 ? 1 : shard.count;
+  meta_.shard_index = shard.index;
   if (primary_.id() == mirror_.id()) {
     // Unmirrored volume (e.g. the single-PMP prototype, §4.3): writing
     // twice to the same device would only double the traffic.

@@ -60,11 +60,20 @@ struct VolumeInfo {
   std::uint32_t region_count = 0;
 };
 
+// Identity of this PMM pair within a sharded persistence plane
+// (pm/shard_map.h). The default {0, 1} is the unsharded legacy config;
+// the identity is stamped into the durable volume metadata so recovery
+// can cross-check placement.
+struct ShardIdentity {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+};
+
 class PmManager : public nsk::PairMember {
  public:
   PmManager(nsk::Cluster& cluster, int cpu_index, std::string service_name,
             std::string member_name, PmDevice primary, PmDevice mirror,
-            std::string volume_name);
+            std::string volume_name, ShardIdentity shard = {});
 
   [[nodiscard]] bool mirror_up() const noexcept { return mirror_up_; }
   // Duration of the last metadata recovery (MTTR accounting, E5).

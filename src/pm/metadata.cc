@@ -32,6 +32,10 @@ std::vector<std::byte> VolumeMetadata::Serialize() const {
     s.PutU64(f.offset);
     s.PutU64(f.length);
   }
+  if (shard_count > 1) {
+    s.PutU32(shard_count);
+    s.PutU32(shard_index);
+  }
   return std::move(s).Take();
 }
 
@@ -63,6 +67,11 @@ std::optional<VolumeMetadata> VolumeMetadata::Deserialize(
   m.free_list.resize(n_free);
   for (FreeExtent& f : m.free_list) {
     if (!d.GetU64(f.offset) || !d.GetU64(f.length)) return std::nullopt;
+  }
+  if (d.remaining() > 0) {
+    if (!d.GetU32(m.shard_count) || !d.GetU32(m.shard_index)) {
+      return std::nullopt;
+    }
   }
   if (!d.ok()) return std::nullopt;
   return m;

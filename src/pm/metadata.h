@@ -47,6 +47,12 @@ struct VolumeMetadata {
   bool mirror_up = true;
   std::vector<RegionRecord> regions;
   std::vector<FreeExtent> free_list;
+  // Shard identity of the owning PMM pair when the persistence plane is
+  // sharded (pm/shard_map.h). Serialized only when shard_count > 1, as a
+  // trailing pair of u32s: a 1-shard volume image is byte-identical to
+  // the pre-sharding format, and old images decode with the defaults.
+  std::uint32_t shard_count = 1;
+  std::uint32_t shard_index = 0;
 
   [[nodiscard]] std::vector<std::byte> Serialize() const;
   static std::optional<VolumeMetadata> Deserialize(

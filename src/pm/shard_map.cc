@@ -1,0 +1,61 @@
+#include "pm/shard_map.h"
+
+#include <cassert>
+
+namespace ods::pm {
+namespace {
+
+// SplitMix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t Mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::string base_service, int shard_count)
+    : base_service_(std::move(base_service)), shard_count_(shard_count) {
+  assert(shard_count_ >= 1);
+}
+
+std::uint64_t ShardMap::HashName(std::string_view name) noexcept {
+  // FNV-1a over the bytes, then one mix round to spread short names.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+std::uint64_t ShardMap::Weight(std::uint64_t name_hash, int shard) noexcept {
+  return Mix64(name_hash ^ Mix64(static_cast<std::uint64_t>(shard)));
+}
+
+int ShardMap::ShardFor(std::string_view region_name) const noexcept {
+  if (shard_count_ <= 1) return 0;
+  const std::uint64_t h = HashName(region_name);
+  int best = 0;
+  std::uint64_t best_weight = Weight(h, 0);
+  for (int s = 1; s < shard_count_; ++s) {
+    const std::uint64_t w = Weight(h, s);
+    if (w > best_weight) {
+      best_weight = w;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::string ShardMap::ServiceForShard(int shard) const {
+  if (shard_count_ <= 1) return base_service_;
+  return base_service_ + std::to_string(shard);
+}
+
+std::string ShardMap::ServiceFor(std::string_view region_name) const {
+  return ServiceForShard(ShardFor(region_name));
+}
+
+}  // namespace ods::pm

@@ -1,0 +1,61 @@
+// Placement of PM regions across N persistence shards.
+//
+// A shard is one PMM pair owning a disjoint NPMU pool. Region names are
+// mapped to shards with rendezvous (highest-random-weight) hashing: for a
+// region r, every shard s gets a pseudo-random weight Mix(h(r), s) and the
+// shard with the largest weight owns r. The scheme needs no durable
+// routing table — any client with (base service, shard count) computes the
+// same owner — and it has the three properties the placement tests pin:
+//
+//   * deterministic: the map is a pure function of (name, shard_count);
+//   * balanced: weights are i.i.d. uniform per shard, so expected load is
+//     capacity/N with small deviation;
+//   * minimal movement: growing N -> N+1 only moves regions whose new
+//     shard's weight beats all old ones, i.e. ~1/(N+1) of them; the rest
+//     keep their owner (the old pairwise order of weights is unchanged).
+//
+// The chosen placement is also *recorded* durably: the owning PMM stamps
+// (shard_index, shard_count) into its volume metadata (pm/metadata.h), so
+// a recovery audit can cross-check that every region sits on the shard the
+// map routes it to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ods::pm {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  ShardMap(std::string base_service, int shard_count);
+
+  [[nodiscard]] int shard_count() const noexcept { return shard_count_; }
+  [[nodiscard]] const std::string& base_service() const noexcept {
+    return base_service_;
+  }
+
+  // Rendezvous owner of `region_name`, in [0, shard_count).
+  [[nodiscard]] int ShardFor(std::string_view region_name) const noexcept;
+
+  // PMM service name for shard s. The 1-shard map uses the base name
+  // unchanged ("$PMM"), so legacy configs and goldens are untouched;
+  // multi-shard maps append the index ("$PMM0", "$PMM1", ...).
+  [[nodiscard]] std::string ServiceForShard(int shard) const;
+
+  // Convenience: service that owns `region_name`.
+  [[nodiscard]] std::string ServiceFor(std::string_view region_name) const;
+
+  // Exposed for tests: the name hash and the per-shard rendezvous weight.
+  [[nodiscard]] static std::uint64_t HashName(
+      std::string_view name) noexcept;
+  [[nodiscard]] static std::uint64_t Weight(std::uint64_t name_hash,
+                                            int shard) noexcept;
+
+ private:
+  std::string base_service_ = "$PMM";
+  int shard_count_ = 1;
+};
+
+}  // namespace ods::pm

@@ -16,21 +16,35 @@
 //            cal_base_ + kBuckets * kBucketNs). Each bucket is an
 //            intrusive FIFO; records are appended in schedule order, so
 //            equal-t records sit in seq order (see invariant note).
-//   far      min-heap on (t, seq) for everything beyond the calendar
-//            window. When the window is exhausted the calendar rebases
-//            at the earliest far record and records within the new
-//            window migrate into buckets; each record migrates at most
-//            once.
+//   outer    kOuterBuckets coarse buckets, each one inner-window wide,
+//            covering ~8.6s past the inner window. Each is an intrusive
+//            FIFO in schedule order; when the inner window is spent the
+//            next occupied outer bucket is expanded into it. This keeps
+//            deep timer populations (100k+ events spread over seconds —
+//            lease ladders, retry backoffs) out of the far heap, whose
+//            O(log n) sifts on every push were the deep-queue hot spot.
+//   far      min-heap on (t, seq) for everything beyond the outer
+//            window. When both windows are exhausted the calendar
+//            rebases at the earliest far record and records within the
+//            new windows migrate into buckets; each record migrates at
+//            most twice (far -> outer -> inner).
 //
 // Ordering invariant (load-bearing for determinism): within any bucket,
-// records with equal t appear in seq order. Two append sources exist —
-// direct Push (schedule order = seq order) and far-heap migration (pops
-// in (t, seq) order, and migration into a window always happens before
-// any direct Push into that window, because windows only move forward).
+// records with equal t appear in seq order. Three append sources exist —
+// direct Push (schedule order = seq order), far-heap migration (pops in
+// (t, seq) order), and outer-bucket expansion (preserves the outer
+// bucket's stored order, which obeys the same invariant). Migration into
+// a window always happens before any direct Push into that window,
+// because windows only move forward, and every seq present at migration
+// time is smaller than any pushed later.
 //
-// Cancelled guarded timers (wait claimed by another source) are flagged
-// in place and lazily swept: when more than half the queued records are
-// cancelled, one O(n) pass reclaims them. This bounds live records at
+// Cancelled guarded timers (wait claimed by another source) are either
+// flagged in place (embedded wait slots, which can be destroyed with
+// timers still queued) or merely COUNTED (pooled slots, whose storage
+// is immortal: the claim path touches nothing but this counter, and the
+// queue re-derives staleness from the guard's generation/fired state
+// whenever it meets the record). When more than half the queued records
+// are stale, one O(n) pass reclaims them. This bounds live records at
 // ~2x live events, so abandoned timeouts never accumulate (the old
 // queue held every stale timer until its timestamp arrived).
 #pragma once
@@ -45,6 +59,7 @@
 
 #include "sim/event.h"
 #include "sim/time.h"
+#include "sim/wait_state.h"
 
 namespace ods::sim {
 
@@ -52,6 +67,7 @@ class CalendarQueue {
  public:
   explicit CalendarQueue(EventArena& arena) : arena_(arena) {
     buckets_.resize(kBuckets);
+    outer_buckets_.resize(kOuterBuckets);
   }
   CalendarQueue(const CalendarQueue&) = delete;
   CalendarQueue& operator=(const CalendarQueue&) = delete;
@@ -89,8 +105,16 @@ class CalendarQueue {
     // its timestamp; otherwise a drained queue would keep near_end_ at
     // the old window's end and funnel a whole fresh batch into the near
     // heap (degenerating to one big binary heap).
+    // Bucket-aligned (not slab-aligned) so the first record lands in
+    // bucket 0: per-bucket buffer capacities then see the same load
+    // pattern every re-anchor and stay at their circulating high-water.
+    // Outer slab boundaries are relative to outer_base_, so only
+    // outer_base_ == cal_base_ (mod slab width) matters, not absolute
+    // alignment.
     if (size_ == 0 && r->t > now_) {
-      cal_base_ = SimTime{(r->t.ns / kBucketNs) * kBucketNs};
+      outer_base_ = SimTime{(r->t.ns / kBucketNs) * kBucketNs};
+      outer_cur_ = 0;
+      cal_base_ = outer_base_;
       cur_bucket_ = 0;
       near_end_ = cal_base_;
     }
@@ -101,6 +125,8 @@ class CalendarQueue {
       InsertNear(r);
     } else if (r->t < CalEnd()) {
       AppendBucket(BucketIndex(r->t), r);
+    } else if (r->t < OuterEnd()) {
+      AppendOuter(OuterIndex(r->t), r);
     } else {
       HeapPush(far_, r);
     }
@@ -119,7 +145,7 @@ class CalendarQueue {
         if (active_head_ == nullptr) active_tail_ = nullptr;
         r->next = nullptr;
         --size_;
-        if (r->cancelled) {
+        if (Stale(r)) {
           --cancelled_;
           arena_.Release(r);
           continue;
@@ -137,7 +163,7 @@ class CalendarQueue {
           // Records scheduled at t DURING its dispatch go to active and
           // correctly run after it.
           --size_;
-          if (first->cancelled) {
+          if (Stale(first)) {
             --cancelled_;
             arena_.Release(first);
             continue;
@@ -169,6 +195,14 @@ class CalendarQueue {
     MaybeSweep();
   }
 
+  // Pooled-slot variant of Cancel: the caller has made one queued timer
+  // record stale (guard fired or generation bumped) without flagging it.
+  // Only the count is kept; Stale() identifies the record later.
+  void NoteStale() noexcept {
+    ++cancelled_;
+    MaybeSweep();
+  }
+
   // Releases every queued record without running it. `drop` is called
   // per record to destroy payloads before the arena reclaims the slot.
   template <typename Fn>
@@ -191,6 +225,12 @@ class CalendarQueue {
     }
     words_.fill(0);
     sum_.fill(0);
+    for (std::size_t i = FindOuterBucket(0); i < kOuterBuckets;
+         i = FindOuterBucket(i + 1)) {
+      for (const HeapEntry& e : outer_buckets_[i].v) drop(e.rec);
+      outer_buckets_[i].v.clear();
+    }
+    outer_words_.fill(0);
     for (const HeapEntry& e : far_) drop(e.rec);
     far_.clear();
     size_ = 0;
@@ -198,11 +238,16 @@ class CalendarQueue {
   }
 
  private:
-  // ~2us buckets, ~2ms window: sized so fabric/CPU-scale latencies land
-  // in the calendar and only long timers (retry/lease timeouts) take the
-  // far-heap detour. Both are perf knobs, not correctness knobs.
+  // 128ns buckets, ~2ms inner window: sized so fabric/CPU-scale latencies
+  // land in the calendar directly. The outer calendar extends coverage to
+  // ~8.6s in inner-window-wide slabs, so retry/lease/backoff timers also
+  // stay O(1); only multi-second outliers take the far-heap detour. All
+  // are perf knobs, not correctness knobs.
   static constexpr std::int64_t kBucketNs = 128;
   static constexpr std::size_t kBuckets = 16384;
+  static constexpr std::int64_t kOuterWidthNs =
+      static_cast<std::int64_t>(kBuckets) * kBucketNs;  // one inner window
+  static constexpr std::size_t kOuterBuckets = 4096;
 
   // Heap entries carry the (t, seq) key by value so sift compares touch
   // only the contiguous heap vector, never the 192-byte records — heap
@@ -268,6 +313,35 @@ class CalendarQueue {
   [[nodiscard]] std::size_t BucketIndex(SimTime t) const noexcept {
     return static_cast<std::size_t>((t.ns - cal_base_.ns) / kBucketNs);
   }
+  [[nodiscard]] SimTime OuterEnd() const noexcept {
+    return SimTime{outer_base_.ns +
+                   static_cast<std::int64_t>(kOuterBuckets) * kOuterWidthNs};
+  }
+  [[nodiscard]] std::size_t OuterIndex(SimTime t) const noexcept {
+    return static_cast<std::size_t>((t.ns - outer_base_.ns) / kOuterWidthNs);
+  }
+
+  // Outer occupancy bitmap: 4096 buckets fit in 64 words, so a single
+  // level suffices (the scan runs only when an inner window is spent).
+  static constexpr std::size_t kOuterWords = kOuterBuckets / 64;
+  void MarkOuter(std::size_t idx) noexcept {
+    outer_words_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+  void UnmarkOuter(std::size_t idx) noexcept {
+    outer_words_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+  [[nodiscard]] std::size_t FindOuterBucket(std::size_t from) const noexcept {
+    if (from >= kOuterBuckets) return kOuterBuckets;
+    std::size_t w = from >> 6;
+    std::uint64_t m = outer_words_[w] & (~std::uint64_t{0} << (from & 63));
+    for (;;) {
+      if (m != 0) {
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(m));
+      }
+      if (++w >= kOuterWords) return kOuterBuckets;
+      m = outer_words_[w];
+    }
+  }
 
   void AppendActive(EventRecord* r) noexcept {
     r->next = nullptr;
@@ -283,6 +357,24 @@ class CalendarQueue {
     assert(idx >= cur_bucket_ && idx < kBuckets);
     Bucket& b = buckets_[idx];
     if (b.v.empty()) MarkBucket(idx);
+    b.v.push_back(HeapEntry{r->t, r->seq, r});
+  }
+
+  void AppendOuter(std::size_t idx, EventRecord* r) {
+    assert(idx > outer_cur_ && idx < kOuterBuckets);
+    Bucket& b = outer_buckets_[idx];
+    if (b.v.empty()) {
+      MarkOuter(idx);
+      // Outer buffers circulate through a spare pool (inner buckets get
+      // the same effect from the near_ swap): a newly-touched outer
+      // bucket reuses a drained one's capacity, keeping steady-state
+      // dispatch allocation-free even as the window slides across
+      // fresh bucket indices.
+      if (b.v.capacity() == 0 && !outer_spares_.empty()) {
+        b.v = std::move(outer_spares_.back());
+        outer_spares_.pop_back();
+      }
+    }
     b.v.push_back(HeapEntry{r->t, r->seq, r});
   }
 
@@ -338,21 +430,55 @@ class CalendarQueue {
                             static_cast<std::int64_t>(cur_bucket_) * kBucketNs};
         return true;
       }
+      // Inner window spent: expand the next occupied outer bucket into
+      // it. Entries distribute in stored order, which preserves the
+      // equal-t seq invariant (see header note).
+      const std::size_t next_outer = FindOuterBucket(outer_cur_ + 1);
+      if (next_outer < kOuterBuckets) {
+        outer_cur_ = next_outer;
+        cal_base_ = SimTime{outer_base_.ns +
+                            static_cast<std::int64_t>(next_outer) *
+                                kOuterWidthNs};
+        cur_bucket_ = 0;
+        near_end_ = cal_base_;
+        Bucket& ob = outer_buckets_[next_outer];
+        UnmarkOuter(next_outer);
+        for (const HeapEntry& e : ob.v) {
+          if (Stale(e.rec)) {
+            ReclaimCancelled(e.rec);
+          } else {
+            AppendBucket(BucketIndex(e.t), e.rec);
+          }
+        }
+        ob.v.clear();
+        if (ob.v.capacity() > 0) {
+          outer_spares_.push_back(std::move(ob.v));
+          ob.v = {};
+        }
+        continue;
+      }
       if (far_.empty()) return false;
-      // Rebase the window at the earliest far record (bucket-aligned so
-      // BucketIndex stays a shift) and migrate everything that now fits.
-      cal_base_ = SimTime{(far_.front().t.ns / kBucketNs) * kBucketNs};
+      // Rebase both windows at the earliest far record (bucket-aligned;
+      // see Push) and migrate everything that now fits: the first slab
+      // expands straight into inner buckets, the rest of the outer span
+      // lands in outer buckets.
+      outer_base_ = SimTime{(far_.front().t.ns / kBucketNs) * kBucketNs};
+      outer_cur_ = 0;
+      cal_base_ = outer_base_;
       cur_bucket_ = 0;
       near_end_ = cal_base_;
-      const SimTime end = CalEnd();
-      while (!far_.empty() && far_.front().t < end) {
+      const SimTime inner_end = CalEnd();
+      const SimTime outer_end = OuterEnd();
+      while (!far_.empty() && far_.front().t < outer_end) {
         EventRecord* r = HeapPop(far_);
-        // Cancelled long timers are dropped here for free instead of
+        // Stale long timers are dropped here for free instead of
         // waiting for a sweep or their (distant) timestamp.
-        if (r->cancelled) {
+        if (Stale(r)) {
           ReclaimCancelled(r);
-        } else {
+        } else if (r->t < inner_end) {
           AppendBucket(BucketIndex(r->t), r);
+        } else {
+          AppendOuter(OuterIndex(r->t), r);
         }
       }
     }
@@ -365,7 +491,7 @@ class CalendarQueue {
       EventRecord* new_tail = nullptr;
       for (EventRecord* r = head; r != nullptr;) {
         EventRecord* next = r->next;
-        if (r->cancelled) {
+        if (Stale(r)) {
           ReclaimCancelled(r);
         } else {
           r->next = nullptr;
@@ -384,7 +510,7 @@ class CalendarQueue {
     auto sweep_heap = [&](std::vector<HeapEntry>& h) {
       auto keep = h.begin();
       for (const HeapEntry& e : h) {
-        if (e.rec->cancelled) {
+        if (Stale(e.rec)) {
           ReclaimCancelled(e.rec);
         } else {
           *keep++ = e;
@@ -397,7 +523,7 @@ class CalendarQueue {
     {  // near_ is sorted; in-place filtering preserves the order.
       auto keep = near_.begin();
       for (std::size_t i = near_pos_; i < near_.size(); ++i) {
-        if (near_[i].rec->cancelled) {
+        if (Stale(near_[i].rec)) {
           ReclaimCancelled(near_[i].rec);
         } else {
           *keep++ = near_[i];
@@ -414,7 +540,7 @@ class CalendarQueue {
       if (v.empty()) continue;
       auto keep = v.begin();
       for (const HeapEntry& e : v) {
-        if (e.rec->cancelled) {
+        if (Stale(e.rec)) {
           ReclaimCancelled(e.rec);
         } else {
           *keep++ = e;  // appends stay in (schedule = seq) order
@@ -423,8 +549,33 @@ class CalendarQueue {
       v.erase(keep, v.end());
       if (v.empty()) UnmarkBucket(i);
     }
+    for (std::size_t i = FindOuterBucket(outer_cur_ + 1); i < kOuterBuckets;
+         i = FindOuterBucket(i + 1)) {
+      std::vector<HeapEntry>& v = outer_buckets_[i].v;
+      auto keep = v.begin();
+      for (const HeapEntry& e : v) {
+        if (Stale(e.rec)) {
+          ReclaimCancelled(e.rec);
+        } else {
+          *keep++ = e;  // stored order preserved
+        }
+      }
+      v.erase(keep, v.end());
+      if (v.empty()) UnmarkOuter(i);
+    }
     sweep_heap(far_);
     assert(cancelled_ == 0);
+  }
+
+  // A record is reclaimable when its cancel was flagged in place OR its
+  // guard no longer wants it (slot recycled to a new generation, or wait
+  // already claimed by another source). Guards of queued timer records
+  // are always dereferenceable here: pooled slots live in immortal pool
+  // chunks, and embedded slots cancel eagerly (first test short-circuits).
+  [[nodiscard]] static bool Stale(const EventRecord* r) noexcept {
+    if (r->cancelled) return true;
+    return r->guard != nullptr &&
+           (r->guard->gen != r->guard_gen || r->guard->fired());
   }
 
   void ReclaimCancelled(EventRecord* r) noexcept {
@@ -437,7 +588,9 @@ class CalendarQueue {
   SimTime now_{0};
   SimTime near_end_{0};
   SimTime cal_base_{0};
+  SimTime outer_base_{0};
   std::size_t cur_bucket_ = 0;
+  std::size_t outer_cur_ = 0;
   std::size_t size_ = 0;
   std::size_t cancelled_ = 0;
   EventRecord* active_head_ = nullptr;
@@ -445,8 +598,11 @@ class CalendarQueue {
   std::vector<HeapEntry> near_;  // sorted ascending; consumed from near_pos_
   std::size_t near_pos_ = 0;
   std::vector<Bucket> buckets_;
+  std::vector<Bucket> outer_buckets_;
+  std::vector<std::vector<HeapEntry>> outer_spares_;  // drained buffers
   std::array<std::uint64_t, kWords> words_{};
   std::array<std::uint64_t, kSumWords> sum_{};
+  std::array<std::uint64_t, kOuterWords> outer_words_{};
   std::vector<HeapEntry> far_;
 };
 

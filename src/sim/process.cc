@@ -61,6 +61,7 @@ void Process::Kill() {
   ++epoch_;
   auto waits = std::move(waits_);
   waits_.clear();
+  waits_compact_at_ = 32;
   for (WaitRef& ref : waits) {
     WaitState* st = ref.get();
     if (st != nullptr && st->TryFire(WaitState::Why::kKilled)) {
@@ -95,13 +96,17 @@ void Process::Restart() {
 }
 
 void Process::RegisterWait(WaitRef ref) {
-  // Lazy compaction keeps the registry O(live waits) without per-resume
-  // bookkeeping.
-  if (waits_.size() >= 32 && waits_.size() % 32 == 0) {
+  // Geometric lazy compaction: scan only when the registry doubles past
+  // its last compacted size, so the cost is amortized O(1) per
+  // registration even for processes holding thousands of live waits
+  // (open-loop driver fleets), where a fixed-stride scan would reclaim
+  // nothing and pay O(n) every few pushes.
+  if (waits_.size() >= waits_compact_at_) {
     std::erase_if(waits_, [](const WaitRef& w) {
       const WaitState* st = w.get();
       return st == nullptr || st->fired();
     });
+    waits_compact_at_ = std::max<std::size_t>(32, waits_.size() * 2);
   }
   waits_.push_back(ref);
 }

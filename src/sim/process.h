@@ -107,6 +107,7 @@ class Process {
   int live_fibers_ = 0;
   std::uint64_t epoch_ = 0;  // incremented on Kill/Restart
   std::vector<WaitRef> waits_;
+  std::size_t waits_compact_at_ = 32;  // next geometric compaction point
   std::vector<std::function<void()>> death_watchers_;
 };
 

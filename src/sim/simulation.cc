@@ -30,6 +30,8 @@ void CancelPendingTimer(Simulation& sim, EventRecord* ev) noexcept {
   sim.queue_.Cancel(ev);
 }
 
+void NoteStaleTimer(Simulation& sim) noexcept { sim.queue_.NoteStale(); }
+
 bool Simulation::DispatchOne(SimTime limit) {
   for (;;) {
     EventRecord* r = queue_.Pop(limit);

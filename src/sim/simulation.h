@@ -169,6 +169,7 @@ class Simulation {
 
  private:
   friend void CancelPendingTimer(Simulation& sim, EventRecord* ev) noexcept;
+  friend void NoteStaleTimer(Simulation& sim) noexcept;
 
   // Pops and dispatches one event with t <= limit. Returns false when
   // nothing runnable remains at or before `limit`. Stale guarded timers

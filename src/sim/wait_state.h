@@ -33,6 +33,13 @@ struct ProcessKilled {};
 // a circular include.
 void CancelPendingTimer(Simulation& sim, EventRecord* ev) noexcept;
 
+// Tells `sim`'s calendar queue that one queued timer record has gone
+// stale WITHOUT touching the record (the queue re-derives staleness from
+// the guard's generation/fired state when it next meets the record).
+// This is the pooled-slot claim path: abandoning a timeout costs two
+// counter updates instead of a write into a cold 192-byte event record.
+void NoteStaleTimer(Simulation& sim) noexcept;
+
 // Exactly one source (timer, fulfilment, kill) claims the right to resume
 // the waiting coroutine; the others become no-ops.
 struct WaitState {
@@ -48,12 +55,22 @@ struct WaitState {
   // time, not at expiry time).
   EventRecord* timer_ev = nullptr;
   Why why = Why::kPending;
+  // Pool-chunk slots outlive every timer record that can point at them,
+  // so their abandoned timers are cancelled LAZILY (NoteStaleTimer; the
+  // queue gen-checks the guard when it meets the record). Embedded slots
+  // (channel RecvStates) may be destroyed with timers still queued, so
+  // they keep the eager flag-the-record cancel.
+  bool pooled = false;
 
   bool TryFire(Why w) noexcept {
     if (why != Why::kPending) return false;
-    why = w;
+    why = w;  // before the note: fired() is what marks the record stale
     if (timer_ev != nullptr) {
-      CancelPendingTimer(*sim, timer_ev);
+      if (pooled) {
+        NoteStaleTimer(*sim);
+      } else {
+        CancelPendingTimer(*sim, timer_ev);
+      }
       timer_ev = nullptr;
     }
     return true;
@@ -64,13 +81,18 @@ struct WaitState {
   // outstanding WaitRef. Called by the pool on release; also usable for
   // wait states embedded in other pooled objects (channel RecvStates).
   void Recycle() noexcept {
-    if (timer_ev != nullptr) {
-      CancelPendingTimer(*sim, timer_ev);
-      timer_ev = nullptr;
-    }
+    EventRecord* stale = timer_ev;
+    timer_ev = nullptr;
     handle = {};
     why = Why::kPending;
-    ++gen;
+    ++gen;  // before the note: the bump is what marks the record stale
+    if (stale != nullptr) {
+      if (pooled) {
+        NoteStaleTimer(*sim);
+      } else {
+        CancelPendingTimer(*sim, stale);
+      }
+    }
   }
 };
 
@@ -131,6 +153,7 @@ class WaitPool {
     chunks_.push_back(std::make_unique<WaitState[]>(kChunkSlots));
     WaitState* chunk = chunks_.back().get();
     for (std::size_t i = kChunkSlots; i-- > 0;) {
+      chunk[i].pooled = true;  // chunk storage is immortal: lazy cancel ok
       chunk[i].next_free = free_;
       free_ = &chunk[i];
     }

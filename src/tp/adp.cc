@@ -102,6 +102,7 @@ Task<Status> AdpProcess::BufferRecords(std::span<const std::byte> payload,
     ++records_buffered_;
   }
   buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+  buffer_marks_.push_back(buffer_.size());
   buffered_tail_ += framed.size();
   if (config_.retain_log_image) {
     log_image_.insert(log_image_.end(), framed.begin(), framed.end());
@@ -168,6 +169,8 @@ Task<void> AdpProcess::FlushLoop() {
     // flight, rides this I/O.
     std::vector<std::byte> batch = std::move(buffer_);
     buffer_.clear();
+    std::vector<std::uint64_t> marks = std::move(buffer_marks_);
+    buffer_marks_.clear();
     const std::uint64_t target = durable_tail_ + batch.size();
     // The flush is tagged with the op-id of the request that triggered it
     // (the front waiter); riders are still traceable via their own
@@ -192,7 +195,8 @@ Task<void> AdpProcess::FlushLoop() {
       ckpt.PutU64(confirmed);
       ckpt.PutU64(target);
       auto append_done = sim::SpawnTask(
-          *this, device_->Append(*this, std::move(batch), flush_op));
+          *this, device_->AppendAligned(*this, std::move(batch),
+                                        std::move(marks), flush_op));
       auto ckpt_done =
           sim::SpawnTask(*this, CheckpointToBackup(std::move(ckpt).Take()));
       st = co_await append_done.Wait(*this);
@@ -321,6 +325,7 @@ void AdpProcess::ApplyCheckpoint(std::span<const std::byte> delta) {
     if (!d.GetU64(lsn) || !d.GetBlob(framed)) return;
     next_lsn_ = lsn;
     buffer_.insert(buffer_.end(), framed.begin(), framed.end());
+    buffer_marks_.push_back(buffer_.size());
     if (config_.retain_log_image) {
       log_image_.insert(log_image_.end(), framed.begin(), framed.end());
     }
@@ -352,9 +357,13 @@ void AdpProcess::AdvanceDurable(std::uint64_t tail) {
   // Drop the now-durable prefix from the pending buffer.
   if (advanced >= buffer_.size()) {
     buffer_.clear();
+    buffer_marks_.clear();
   } else {
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(advanced));
+    std::erase_if(buffer_marks_,
+                  [advanced](std::uint64_t m) { return m <= advanced; });
+    for (std::uint64_t& m : buffer_marks_) m -= advanced;
   }
 }
 
@@ -381,6 +390,10 @@ void AdpProcess::InstallState(std::span<const std::byte> snapshot) {
   durable_tail_ = tail;
   next_lsn_ = lsn;
   buffer_ = std::move(buffer);
+  // Internal cohort boundaries were not snapshotted; the whole pending
+  // buffer is one indivisible chunk for the next flush.
+  buffer_marks_.clear();
+  if (!buffer_.empty()) buffer_marks_.push_back(buffer_.size());
   if (config_.retain_log_image) log_image_ = std::move(image);
   state_valid_ = true;
 }

@@ -77,6 +77,7 @@ class AdpProcess : public nsk::PairMember {
   void OnRestart() override {
     PairMember::OnRestart();
     buffer_.clear();
+    buffer_marks_.clear();
     log_image_.clear();
     flush_waiters_.clear();
     flusher_running_ = false;
@@ -114,6 +115,10 @@ class AdpProcess : public nsk::PairMember {
 
   // Volatile primary state, checkpointed to the backup.
   std::vector<std::byte> buffer_;     // framed records not yet durable
+  // Record-cohort ends within buffer_ (ascending, relative offsets) —
+  // the stripe-cut boundaries handed to the device so a sharded flush
+  // never splits a record across streams.
+  std::vector<std::uint64_t> buffer_marks_;
   std::uint64_t durable_tail_ = 0;    // logical bytes durable on media
   std::uint64_t next_lsn_ = 1;
   bool state_valid_ = false;  // false until recovered or resynced

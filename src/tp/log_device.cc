@@ -4,6 +4,7 @@
 
 #include "common/crc32.h"
 #include "common/serialize.h"
+#include "sim/fault_plan.h"
 
 namespace ods::tp {
 
@@ -11,7 +12,8 @@ using sim::Task;
 
 namespace {
 
-constexpr std::uint32_t kControlMagic = 0x41445054;  // "ADPT"
+constexpr std::uint32_t kControlMagic = 0x41445054;       // "ADPT"
+constexpr std::uint32_t kShardControlMagic = 0x41445053;  // "ADPS"
 
 // Splits a ring write into at most two physical extents.
 template <typename WriteFn>
@@ -45,6 +47,16 @@ Task<Status> LogDevice::AppendBatch(nsk::NskProcess& host,
     if (!st.ok()) co_return st;
   }
   co_return OkStatus();
+}
+
+Task<Status> LogDevice::AppendAligned(nsk::NskProcess& host,
+                                      std::vector<std::byte> bytes,
+                                      std::vector<std::uint64_t> marks,
+                                      std::uint64_t op_id) {
+  // Not a coroutine: forward straight to Append (the hints are advisory
+  // and this device appends the bytes whole), adding no frame of its own.
+  (void)marks;
+  return Append(host, std::move(bytes), op_id);
 }
 
 // ------------------------------------------------------------ DiskLogDevice
@@ -238,6 +250,340 @@ Task<Result<std::vector<std::byte>>> PmLogDevice::RecoverLog(
   auto data = co_await region_->Read(kDataBase, tail);
   if (!data.ok()) co_return data.status();
   co_return std::move(*data);
+}
+
+// ------------------------------------------------------- ShardedPmLogDevice
+
+std::vector<std::byte> ShardedPmLogDevice::EncodeStreamControl(
+    std::uint64_t epoch, std::uint64_t stream_tail,
+    std::uint64_t global_tail) const {
+  Serializer s;
+  s.PutU32(kShardControlMagic);
+  s.PutU64(epoch);
+  s.PutU64(stream_tail);
+  s.PutU64(global_tail);
+  s.PutU32(Crc32c(s.bytes()));
+  return std::move(s).Take();
+}
+
+Task<Status> ShardedPmLogDevice::Open(nsk::NskProcess& host) {
+  // Idempotent: OnBecomePrimary opens unconditionally, and a promoted
+  // backup must not clobber live in-memory stream state with older
+  // durable controls.
+  if (!streams_.empty()) co_return OkStatus();
+  const int n_shards = config_.map.shard_count();
+  std::vector<Stream> streams;
+  std::uint64_t t_max = 0;
+  std::uint64_t flushes = 0;
+  for (int s = 0; s < n_shards; ++s) {
+    pm::PmClient client(host, config_.map.ServiceForShard(s));
+    auto region = co_await client.Create(
+        config_.region_prefix + std::to_string(s),
+        kStreamDataBase + config_.region_bytes);
+    if (!region.ok()) co_return region.status();
+    Stream st;
+    st.region = std::move(*region);
+    // Restore the stream's committed state from its control block — this
+    // is what lets a promoted backup keep appending without a scan.
+    auto cb = co_await st.region->Read(0, kStreamDataBase);
+    if (!cb.ok()) co_return cb.status();
+    Deserializer d(*cb);
+    std::uint32_t magic = 0;
+    if (d.GetU32(magic) && magic == kShardControlMagic) {
+      std::uint64_t epoch = 0, stream_tail = 0, global_tail = 0;
+      std::uint32_t stored_crc = 0;
+      if (!d.GetU64(epoch) || !d.GetU64(stream_tail) ||
+          !d.GetU64(global_tail) || !d.GetU32(stored_crc)) {
+        co_return Status(ErrorCode::kDataLoss,
+                         "stream control block truncated");
+      }
+      Serializer check;
+      check.PutU32(magic);
+      check.PutU64(epoch);
+      check.PutU64(stream_tail);
+      check.PutU64(global_tail);
+      if (Crc32c(check.bytes()) != stored_crc) {
+        co_return Status(ErrorCode::kDataLoss,
+                         "stream control block corrupt");
+      }
+      st.epoch = epoch;
+      st.tail = stream_tail;
+      st.global_tail = global_tail;
+    }  // else: virgin stream, all zeroes
+    t_max = std::max(t_max, st.global_tail);
+    flushes += st.epoch;
+    streams.push_back(std::move(st));
+  }
+  streams_ = std::move(streams);
+  // Pipelines hold a PmRegion*, so they are created only once streams_
+  // has its final addresses (the vector never grows after this).
+  for (Stream& st : streams_) {
+    st.pipeline.emplace(
+        *st.region,
+        pm::PmWritePipeline::Config{config_.pipeline_depth,
+                                    /*coalesce_adjacent=*/true,
+                                    /*max_coalesce_bytes=*/256 << 10},
+        &stats_);
+  }
+  tail_ = t_max;
+  flush_seq_ = flushes;
+  co_return OkStatus();
+}
+
+Task<Status> ShardedPmLogDevice::Append(nsk::NskProcess& host,
+                                        std::vector<std::byte> bytes,
+                                        std::uint64_t op_id) {
+  // No boundary hints: the append is one indivisible chunk (unstriped).
+  std::vector<std::uint64_t> whole{bytes.size()};
+  co_return co_await AppendAligned(host, std::move(bytes), std::move(whole),
+                                   op_id);
+}
+
+Task<Status> ShardedPmLogDevice::StripeAppend(Stream& st,
+                                              std::vector<std::byte> framed,
+                                              std::uint64_t new_global,
+                                              std::uint64_t op_id) {
+  const std::uint64_t fn = framed.size();
+  const std::uint64_t cap = config_.region_bytes;
+  const std::uint64_t new_epoch = st.epoch + 1;
+  const bool wraps = (st.tail % cap) + fn > cap;
+  if (config_.piggyback_control && !wraps) {
+    // One chained RDMA per stripe: the stream's framed data, then its
+    // control block. In-order/abort-on-error chain semantics keep the
+    // per-stream control from ever covering un-landed data.
+    std::vector<pm::PmRegion::ScatterOp> ops;
+    ops.reserve(2);
+    ops.push_back({kStreamDataBase + (st.tail % cap), std::move(framed)});
+    ops.push_back({0, EncodeStreamControl(new_epoch, st.tail + fn,
+                                          new_global)});
+    auto status = co_await st.region->WriteChain(std::move(ops), op_id);
+    if (!status.ok()) co_return status;
+    stats_.piggybacked.Increment();
+  } else {
+    auto status = co_await RingWrite(
+        st.tail, cap, kStreamDataBase, std::move(framed),
+        [&](std::uint64_t off, std::vector<std::byte> b) -> Task<Status> {
+          co_return co_await st.pipeline->Submit(off, std::move(b), op_id);
+        });
+    if (status.ok()) status = co_await st.pipeline->Drain();
+    if (!status.ok()) co_return status;
+    status = co_await st.region->Write(
+        0, EncodeStreamControl(new_epoch, st.tail + fn, new_global), op_id);
+    if (!status.ok()) co_return status;
+  }
+  st.tail += fn;
+  st.epoch = new_epoch;
+  st.global_tail = new_global;
+  co_return OkStatus();
+}
+
+Task<Status> ShardedPmLogDevice::AppendBatch(
+    nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch,
+    std::uint64_t op_id) {
+  // Each batch element is an indivisible chunk: gather and stripe with
+  // cuts only at chunk ends.
+  std::uint64_t n = 0;
+  for (const auto& b : batch) n += b.size();
+  std::vector<std::byte> flat;
+  flat.reserve(n);
+  std::vector<std::uint64_t> marks;
+  marks.reserve(batch.size());
+  for (const auto& b : batch) {
+    flat.insert(flat.end(), b.begin(), b.end());
+    marks.push_back(flat.size());
+  }
+  co_return co_await AppendAligned(host, std::move(flat), std::move(marks),
+                                   op_id);
+}
+
+Task<Status> ShardedPmLogDevice::AppendAligned(
+    nsk::NskProcess& host, std::vector<std::byte> flat,
+    std::vector<std::uint64_t> marks, std::uint64_t op_id) {
+  if (streams_.empty()) {
+    co_return Status(ErrorCode::kFailedPrecondition, "not open");
+  }
+  if (!poison_.ok()) co_return poison_;
+  const std::uint64_t n = flat.size();
+  if (n == 0) co_return OkStatus();
+  const std::size_t S = streams_.size();
+  // Cut into stripes — every stream gets one unless the flush is too
+  // small for stripes of kMinStripeBytes to be worth their control
+  // commits — snapping each cut DOWN to a record boundary so that a
+  // recovery truncated at any stripe edge still ends on a whole record.
+  const std::size_t k_target =
+      static_cast<std::size_t>(std::clamp<std::uint64_t>(
+          n / kMinStripeBytes, 1, static_cast<std::uint64_t>(S)));
+  std::vector<std::uint64_t> cuts;  // stripe end offsets within flat
+  cuts.reserve(k_target);
+  for (std::size_t i = 1; i < k_target; ++i) {
+    const std::uint64_t want = i * n / k_target;
+    auto it = std::upper_bound(marks.begin(), marks.end(), want);
+    const std::uint64_t snapped = it == marks.begin() ? 0 : *std::prev(it);
+    if (snapped > 0 && snapped < n &&
+        (cuts.empty() || snapped > cuts.back())) {
+      cuts.push_back(snapped);
+    }
+  }
+  cuts.push_back(n);
+  const std::size_t k = cuts.size();
+  const std::size_t base = static_cast<std::size_t>(flush_seq_ % S);
+  const std::uint64_t new_global = tail_ + n;
+
+  struct StripePlan {
+    std::size_t stream;
+    std::uint64_t goff;  // global offset of the stripe's first byte
+    std::uint64_t len;
+  };
+  std::vector<StripePlan> plan;
+  plan.reserve(k);
+  std::uint64_t cut = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    plan.push_back({(base + i) % S, tail_ + cut, cuts[i] - cut});
+    cut = cuts[i];
+  }
+
+  auto frame = [&](const StripePlan& p) {
+    Serializer f;
+    f.Reserve(kFrameHeader + p.len);
+    f.PutU64(p.goff);
+    f.PutU32(static_cast<std::uint32_t>(p.len));
+    f.PutBytes(std::span<const std::byte>(flat).subspan(
+        static_cast<std::size_t>(p.goff - tail_),
+        static_cast<std::size_t>(p.len)));
+    return std::move(f).Take();
+  };
+
+  // Launch every stripe in parallel — one per stream, so each rides its
+  // own shard pair's links and the flush's wire time divides by k.
+  std::vector<sim::Future<Status>> pending;
+  pending.reserve(k);
+  for (const StripePlan& p : plan) {
+    Stream& st = streams_[p.stream];
+    // Crash-injection site on the boundary between per-shard epoch
+    // commits: a crash armed here lands after every earlier flush's
+    // commits and before any byte of this stripe reaches its shard.
+    sim::FaultPoint(host.sim(), sim::FaultSiteKind::kCustom,
+                    "shardlog:commit:s" + std::to_string(p.stream),
+                    {static_cast<std::uint64_t>(p.stream), st.epoch + 1,
+                     p.goff + p.len});
+    pending.push_back(sim::SpawnTask(
+        host, StripeAppend(st, frame(p), p.goff + p.len, op_id)));
+  }
+  std::vector<Status> results;
+  results.reserve(k);
+  for (auto& f : pending) results.push_back(co_await f.Wait(host));
+
+  // A stripe that failed outright (shard down) is retried once on the
+  // next stream — frames carry their global offset, so any stream can
+  // host any interval. A flush that still cannot land poisons the
+  // device: later appends above the hole would break I4.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (results[i].ok()) continue;
+    Stream& next = streams_[(plan[i].stream + 1) % S];
+    Status retried = co_await StripeAppend(next, frame(plan[i]),
+                                           plan[i].goff + plan[i].len, op_id);
+    if (!retried.ok()) {
+      poison_ = std::move(retried);
+      co_return poison_;
+    }
+  }
+  tail_ = new_global;
+  ++flush_seq_;
+  co_return OkStatus();
+}
+
+Task<Result<std::vector<std::byte>>> ShardedPmLogDevice::RecoverLog(
+    nsk::NskProcess& host) {
+  if (streams_.empty()) {
+    auto status = co_await Open(host);
+    if (!status.ok()) co_return status;
+  }
+  // T = the newest global tail any stream recorded. The serial flush
+  // loop guarantees every flush before the one that recorded T also
+  // committed, so the union of stream frames must cover [0, T).
+  std::uint64_t t_max = 0;
+  for (const Stream& st : streams_) t_max = std::max(t_max, st.global_tail);
+  if (t_max == 0) {
+    tail_ = 0;
+    co_return std::vector<std::byte>{};
+  }
+  struct Frame {
+    std::uint64_t goff;      // global interval [goff, gend)
+    std::uint64_t gend;
+    std::uint64_t spos_end;  // stream position just past this frame
+  };
+  std::vector<std::vector<Frame>> frames_by_stream(streams_.size());
+  std::vector<std::byte> image(t_max);
+  for (std::size_t si = 0; si < streams_.size(); ++si) {
+    Stream& st = streams_[si];
+    if (st.tail == 0) continue;
+    if (st.tail > config_.region_bytes) {
+      co_return Status(ErrorCode::kFailedPrecondition,
+                       "log stream wrapped; full history not retained");
+    }
+    auto data = co_await st.region->Read(kStreamDataBase, st.tail);
+    if (!data.ok()) co_return data.status();
+    std::uint64_t pos = 0;
+    while (pos < data->size()) {
+      Deserializer d(std::span<const std::byte>(*data).subspan(pos));
+      std::uint64_t goff = 0;
+      std::uint32_t len = 0;
+      if (!d.GetU64(goff) || !d.GetU32(len) || len == 0 ||
+          pos + kFrameHeader + len > data->size() || goff + len > t_max) {
+        co_return Status(ErrorCode::kDataLoss,
+                         "torn frame below a committed stream tail");
+      }
+      std::copy_n(
+          data->begin() + static_cast<std::ptrdiff_t>(pos + kFrameHeader),
+          len, image.begin() + static_cast<std::ptrdiff_t>(goff));
+      pos += kFrameHeader + len;
+      frames_by_stream[si].push_back({goff, goff + len, pos});
+    }
+    // Cross-shard I1: a stream's durable epoch is exactly its committed
+    // stripe count, i.e. the frames below its control's stream tail.
+    if (frames_by_stream[si].size() != st.epoch) {
+      co_return Status(ErrorCode::kDataLoss,
+                       "stream epoch does not match its frame count");
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  for (const auto& fs : frames_by_stream) {
+    for (const Frame& f : fs) intervals.emplace_back(f.goff, f.gend);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  // Overlaps are legal (a takeover re-flushes byte-identical records).
+  // The contiguous prefix is the recovered log: a hole can only be a
+  // missing stripe of the single flush in flight at the crash (I4 — the
+  // flush loop is serial and acks only fully-landed flushes), so every
+  // acked byte lies below the first gap.
+  std::uint64_t covered = 0;
+  for (const auto& [begin, end] : intervals) {
+    if (begin > covered) break;
+    covered = std::max(covered, end);
+  }
+  if (covered < t_max) {
+    // Truncate the hole's committed sibling stripes — necessarily each
+    // stream's final frames, since only the last flush can be partial.
+    // Their controls are rewritten so a future append of the same global
+    // interval (with different bytes) can never conflict with them.
+    for (std::size_t si = 0; si < streams_.size(); ++si) {
+      auto& fs = frames_by_stream[si];
+      if (fs.empty() || fs.back().gend <= covered) continue;
+      Stream& st = streams_[si];
+      while (!fs.empty() && fs.back().gend > covered) {
+        fs.pop_back();
+        st.epoch -= 1;
+      }
+      st.tail = fs.empty() ? 0 : fs.back().spos_end;
+      st.global_tail = fs.empty() ? 0 : fs.back().gend;
+      auto status = co_await st.region->Write(
+          0, EncodeStreamControl(st.epoch, st.tail, st.global_tail));
+      if (!status.ok()) co_return status;
+    }
+    image.resize(covered);
+  }
+  tail_ = covered;
+  co_return std::move(image);
 }
 
 }  // namespace ods::tp

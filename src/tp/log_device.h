@@ -58,6 +58,17 @@ class LogDevice {
       nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch,
       std::uint64_t op_id = 0);
 
+  // Append with record-boundary hints: `marks` are the ascending ends
+  // (relative offsets) of the whole records inside `bytes`. A device
+  // that splits an append internally (the sharded device stripes it
+  // across shards) must cut only at marks, so a recovery truncated at
+  // any internal boundary still ends on a parseable record. The default
+  // ignores the hints and appends the bytes whole.
+  virtual sim::Task<Status> AppendAligned(nsk::NskProcess& host,
+                                          std::vector<std::byte> bytes,
+                                          std::vector<std::uint64_t> marks,
+                                          std::uint64_t op_id = 0);
+
   // Pipelining instrumentation, when the device has any (PM only).
   [[nodiscard]] virtual const PipelineStats* pipeline_stats() const noexcept {
     return nullptr;
@@ -158,6 +169,129 @@ class PmLogDevice final : public LogDevice {
   std::optional<pm::PmWritePipeline> pipeline_;
   PipelineStats stats_;
   std::uint64_t tail_ = 0;
+};
+
+// Multi-log configuration for a sharded persistence plane: one log
+// stream per shard (pm/shard_map.h), each stream a PM region on that
+// shard's PMM pair.
+struct ShardedPmLogConfig {
+  pm::ShardMap map;            // shard count + service naming
+  std::string region_prefix;   // stream k's region is prefix + k
+  std::uint64_t region_bytes = 48ull << 20;  // per stream
+  bool piggyback_control = true;
+  std::size_t pipeline_depth = 8;
+};
+
+// The ADP's multi-log mode (scale-out): the logical audit log is striped
+// over one stream per shard (pm/shard_map.h). A flush is cut into up to
+// S stripes (at least kMinStripeBytes each, so small flushes stay whole
+// and rotate round-robin); every stripe is framed as
+// [global_offset u64][len u32][payload] in its stream's ring and
+// committed with a per-stream control block {per-shard epoch, stream
+// tail, global tail} carried behind the data in one chained RDMA (the
+// same control-after-data ordering as PmLogDevice, per stream). The
+// stripes of one flush land IN PARALLEL, one per shard pair — this is
+// what makes a single ADP's flush latency scale down with shard count
+// instead of merely spreading successive flushes over the links.
+//
+// Because the ADP's flush loop is strictly serial and a flush is acked
+// only once every stripe committed, at most one flush — the in-flight
+// one — can be partially durable at a crash; every earlier flush is
+// fully committed in stream control blocks. Recovery reads the S
+// controls, walks each stream's frames, reassembles the global byte
+// stream by global offset, and truncates at the first hole: a hole can
+// only be a missing stripe of that final unacked flush, so everything
+// below it is exactly the acked prefix (the cross-shard form of
+// invariants I1/I4). Stale sibling stripes above the hole are erased
+// from their streams' controls so a later write at the same global
+// offset cannot conflict with them. Overlapping intervals are tolerated
+// because a takeover's re-flushed records are byte-identical at a given
+// global offset (the promoted backup replays its pending buffer from
+// the confirmed tail, which also re-covers any stripes the dead
+// primary's last flush left behind).
+//
+// If a stripe write fails outright (both mirrors of a shard down), it
+// is retried once on the next stream — any stream can host any global
+// interval — and a flush that still cannot complete poisons the device:
+// accepting later appends above an unrepaired hole would let an acked
+// byte land beyond a gap, breaking I4. The poisoned primary keeps
+// failing flushes until takeover or restart re-anchors the log.
+class ShardedPmLogDevice final : public LogDevice {
+ public:
+  explicit ShardedPmLogDevice(ShardedPmLogConfig config)
+      : config_(std::move(config)) {}
+
+  sim::Task<Status> Open(nsk::NskProcess& host) override;
+  sim::Task<Status> Append(nsk::NskProcess& host, std::vector<std::byte> bytes,
+                           std::uint64_t op_id = 0) override;
+  sim::Task<Status> AppendBatch(
+      nsk::NskProcess& host, std::vector<std::vector<std::byte>> batch,
+      std::uint64_t op_id = 0) override;
+  sim::Task<Status> AppendAligned(nsk::NskProcess& host,
+                                  std::vector<std::byte> bytes,
+                                  std::vector<std::uint64_t> marks,
+                                  std::uint64_t op_id = 0) override;
+  sim::Task<Result<std::vector<std::byte>>> RecoverLog(
+      nsk::NskProcess& host) override;
+
+  [[nodiscard]] std::uint64_t tail() const noexcept override { return tail_; }
+  void set_tail(std::uint64_t tail) noexcept override { tail_ = tail; }
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "pm-sharded";
+  }
+  [[nodiscard]] const PipelineStats* pipeline_stats() const noexcept override {
+    return &stats_;
+  }
+  void Reset() noexcept override {
+    streams_.clear();
+    tail_ = 0;
+    flush_seq_ = 0;
+    poison_ = OkStatus();
+  }
+
+  // Per-shard epoch (committed flush count) of stream `s` — recovery
+  // tests assert cross-shard monotonicity against these.
+  [[nodiscard]] std::uint64_t stream_epoch(int s) const noexcept {
+    return streams_.at(static_cast<std::size_t>(s)).epoch;
+  }
+
+ private:
+  // Stream region layout: [control block (64B) | framed data ring].
+  static constexpr std::uint64_t kStreamDataBase = 64;
+  // Per-frame header: [global_offset u64][len u32].
+  static constexpr std::uint64_t kFrameHeader = 12;
+  // Smallest stripe worth its own control-block commit; flushes below
+  // S * this use fewer stripes (a lone small flush stays whole).
+  static constexpr std::uint64_t kMinStripeBytes = 64ull << 10;
+
+  struct Stream {
+    std::optional<pm::PmRegion> region;
+    std::optional<pm::PmWritePipeline> pipeline;
+    std::uint64_t tail = 0;   // framed bytes appended to this stream
+    std::uint64_t epoch = 0;  // stripes committed to this stream
+    std::uint64_t global_tail = 0;  // global tail at the last commit
+  };
+
+  [[nodiscard]] std::vector<std::byte> EncodeStreamControl(
+      std::uint64_t epoch, std::uint64_t stream_tail,
+      std::uint64_t global_tail) const;
+
+  // Writes one already-framed stripe to `st` (data + control in one
+  // chain, or the ring/pipeline path on wrap) and commits the stream's
+  // in-memory state on success. Stripes of one flush run in parallel,
+  // each on its own stream.
+  sim::Task<Status> StripeAppend(Stream& st, std::vector<std::byte> framed,
+                                 std::uint64_t new_global,
+                                 std::uint64_t op_id);
+
+  ShardedPmLogConfig config_;
+  std::vector<Stream> streams_;
+  PipelineStats stats_;
+  std::uint64_t tail_ = 0;       // global logical tail (payload bytes)
+  std::uint64_t flush_seq_ = 0;  // total committed flushes (round-robin)
+  // Set when a flush could not land on any stream: appending above the
+  // resulting hole would break I4, so the device fails fast instead.
+  Status poison_;
 };
 
 // Factory used by ADP configuration.

@@ -110,7 +110,13 @@ Task<Status> TmfProcess::FlushAudit(const std::vector<std::string>& adps,
                   std::shared_ptr<sim::Latch> done,
                   std::shared_ptr<std::vector<Status>> out,
                   std::size_t slot) -> Task<void> {
-      auto r = co_await self.Call(adp, kAdpFlush, std::move(body));
+      // The flush RPC's deadline follows the commit-resolution budget:
+      // with a raised resolve_timeout (saturation sweeps) a queued flush
+      // waits out the group-commit backlog instead of timing out and
+      // aborting a transaction whose audit bytes were already paid for.
+      nsk::CallOptions opts;
+      opts.timeout = self.config_.resolve_timeout;
+      auto r = co_await self.Call(adp, kAdpFlush, std::move(body), opts);
       (*out)[slot] = r.ok() ? r->status : r.status();
       done->Arrive();
     }(*this, adps[i], std::move(payload), latch, statuses, i));

@@ -13,6 +13,10 @@ Rig::Rig(sim::Simulation& sim, RigConfig config)
       config_.pm_device == PmDeviceKind::kNone) {
     config_.pm_device = PmDeviceKind::kNpmuPair;
   }
+  if (config_.num_pm_shards < 1 ||
+      config_.pm_device != PmDeviceKind::kNpmuPair) {
+    config_.num_pm_shards = 1;  // PMP prototype and disk mode: one shard
+  }
   nsk::ClusterConfig cluster_cfg = config_.cluster;
   cluster_cfg.num_cpus =
       config_.num_cpus + (config_.pm_device == PmDeviceKind::kPmp ? 1 : 0);
@@ -65,35 +69,52 @@ void Rig::BuildDisks() {
 
 void Rig::BuildPm() {
   if (config_.pm_device == PmDeviceKind::kNone) return;
-  // Size the device to hold every ADP's log region plus the TMF TCB
-  // region with headroom (region alignment + metadata).
+  const int n_shards = config_.num_pm_shards;
+  shard_map_ = pm::ShardMap("$PMM", n_shards);
+  // Size each shard's devices to hold one log stream per ADP plus the
+  // TMF TCB region with headroom (region alignment + metadata).
   const std::uint64_t needed =
       static_cast<std::uint64_t>(config_.num_adps) *
           (config_.pm_log_region_bytes + 4096) +
       (8ull << 20);
   config_.npmu.capacity_bytes = std::max(config_.npmu.capacity_bytes, needed);
-  std::optional<pm::PmDevice> primary_dev;
-  std::optional<pm::PmDevice> mirror_dev;
-  if (config_.pm_device == PmDeviceKind::kNpmuPair) {
-    npmu_a_ = std::make_unique<pm::Npmu>(cluster_->fabric(), "npmu-a",
-                                         config_.npmu);
-    npmu_b_ = std::make_unique<pm::Npmu>(cluster_->fabric(), "npmu-b",
-                                         config_.npmu);
-    primary_dev = pm::PmDevice(*npmu_a_);
-    mirror_dev = pm::PmDevice(*npmu_b_);
-  } else {
+  if (config_.pm_device == PmDeviceKind::kPmp) {
     // The paper's prototype: a single PMP on its own CPU, one region per
-    // ADP, no mirroring.
+    // ADP, no mirroring (always single-shard).
     pmp_ = &sim_.AdoptStopped<pm::Pmp>(*cluster_, config_.num_cpus, "$PMP",
                                        config_.npmu);
     pmp_->Start();
-    primary_dev = pm::PmDevice(*pmp_);
-    mirror_dev = pm::PmDevice(*pmp_);
+    PmShard shard;
+    auto [p, b] = SpawnPair<pm::PmManager>("$PMM", 0, 1, pm::PmDevice(*pmp_),
+                                           pm::PmDevice(*pmp_), "$PM1");
+    shard.pmm_primary = p;
+    shard.pmm_backup = b;
+    pm_shards_.push_back(std::move(shard));
+    return;
   }
-  auto [p, b] = SpawnPair<pm::PmManager>("$PMM", 0, 1, *primary_dev,
-                                         *mirror_dev, "$PM1");
-  pmm_primary_ = p;
-  pmm_backup_ = b;
+  pm_shards_.reserve(static_cast<std::size_t>(n_shards));
+  for (int s = 0; s < n_shards; ++s) {
+    // The 1-shard config keeps the legacy names ("npmu-a", "$PMM",
+    // "$PM1") and the legacy 0/1 CPU placement, so endpoint ids, spawn
+    // order and golden traces are untouched.
+    const std::string suffix = n_shards == 1 ? "" : std::to_string(s);
+    PmShard shard;
+    shard.npmu_a = std::make_unique<pm::Npmu>(cluster_->fabric(),
+                                              "npmu-a" + suffix, config_.npmu);
+    shard.npmu_b = std::make_unique<pm::Npmu>(cluster_->fabric(),
+                                              "npmu-b" + suffix, config_.npmu);
+    const int pcpu = (2 * s) % config_.num_cpus;
+    const int bcpu = (2 * s + 1) % config_.num_cpus;
+    auto [p, b] = SpawnPair<pm::PmManager>(
+        shard_map_.ServiceForShard(s), pcpu, bcpu, pm::PmDevice(*shard.npmu_a),
+        pm::PmDevice(*shard.npmu_b),
+        n_shards == 1 ? std::string("$PM1") : "$PM1-" + std::to_string(s),
+        pm::ShardIdentity{static_cast<std::uint32_t>(s),
+                          static_cast<std::uint32_t>(n_shards)});
+    shard.pmm_primary = p;
+    shard.pmm_backup = b;
+    pm_shards_.push_back(std::move(shard));
+  }
 }
 
 void Rig::BuildAdps() {
@@ -107,6 +128,17 @@ void Rig::BuildAdps() {
       if (config_.log_medium == tp::LogMedium::kDisk) {
         return std::make_unique<tp::DiskLogDevice>(
             *audit_volumes_[static_cast<std::size_t>(i)], config_.disk_log);
+      }
+      if (config_.num_pm_shards > 1) {
+        // Multi-log mode: one stream per shard, placed pinned (stream k
+        // on shard k's pair), merged at recovery.
+        tp::ShardedPmLogConfig sh_cfg;
+        sh_cfg.map = shard_map_;
+        sh_cfg.region_prefix = "audit-" + service + "-s";
+        sh_cfg.region_bytes = config_.pm_log_region_bytes;
+        sh_cfg.piggyback_control = config_.pm_piggyback;
+        sh_cfg.pipeline_depth = config_.pm_pipeline_depth;
+        return std::make_unique<tp::ShardedPmLogDevice>(sh_cfg);
       }
       tp::PmLogConfig pm_cfg;
       pm_cfg.pmm_service = "$PMM";
@@ -137,6 +169,12 @@ void Rig::BuildTmf() {
   tp::TmfConfig tmf_cfg;
   tmf_cfg.pm_tcb = config_.pm_tcb && config_.pm_device != PmDeviceKind::kNone;
   tmf_cfg.master_adp = Catalog::AdpName(0);
+  tmf_cfg.resolve_timeout = config_.tmf_resolve_timeout;
+  if (tmf_cfg.pm_tcb && config_.num_pm_shards > 1) {
+    // The TCB region is placed like any other region: wherever the
+    // shard map routes its name.
+    tmf_cfg.pmm_service = shard_map_.ServiceFor(tmf_cfg.tcb_region);
+  }
   auto [p, b] = SpawnPair<tp::TmfProcess>("$TMF", 0,
                                           1 % config_.num_cpus, tmf_cfg);
   tmf_primary_ = p;
@@ -183,8 +221,10 @@ void Rig::KillAdpPrimary(int index) {
 
 void Rig::KillTmfPrimary() { tmf_primary_->Kill(); }
 
-void Rig::KillPmmPrimary() {
-  if (pmm_primary_ != nullptr) pmm_primary_->Kill();
+void Rig::KillPmmPrimary(int shard) {
+  if (shard < 0 || shard >= num_pm_shards()) return;
+  auto* p = pm_shards_[static_cast<std::size_t>(shard)].pmm_primary;
+  if (p != nullptr) p->Kill();
 }
 
 void Rig::PowerLoss() {
@@ -197,13 +237,17 @@ void Rig::PowerLoss() {
   for (auto* p : adp_backups_) kill(p);
   kill(tmf_primary_);
   kill(tmf_backup_);
-  kill(pmm_primary_);
-  kill(pmm_backup_);
+  for (auto& shard : pm_shards_) {
+    kill(shard.pmm_primary);
+    kill(shard.pmm_backup);
+  }
   kill(pmp_);
   for (auto& v : data_volumes_) v->PowerFail();
   for (auto& v : audit_volumes_) v->PowerFail();
-  if (npmu_a_) npmu_a_->PowerFail();
-  if (npmu_b_) npmu_b_->PowerFail();
+  for (auto& shard : pm_shards_) {
+    if (shard.npmu_a) shard.npmu_a->PowerFail();
+    if (shard.npmu_b) shard.npmu_b->PowerFail();
+  }
 }
 
 void Rig::RestartAfterPowerLoss() {
@@ -211,8 +255,10 @@ void Rig::RestartAfterPowerLoss() {
     if (p != nullptr && !p->alive()) p->Restart();
   };
   restart(pmp_);
-  restart(pmm_primary_);
-  restart(pmm_backup_);
+  for (auto& shard : pm_shards_) {
+    restart(shard.pmm_primary);
+    restart(shard.pmm_backup);
+  }
   for (auto* p : adp_primaries_) restart(p);
   for (auto* p : adp_backups_) restart(p);
   restart(tmf_primary_);
@@ -227,8 +273,10 @@ Rig::PersistenceAccounting Rig::Account() const {
   for (const auto& v : audit_volumes_) {
     acct.disk_bytes_written += v->bytes_written();
   }
-  if (npmu_a_) acct.pm_bytes_written += npmu_a_->bytes_persisted();
-  if (npmu_b_) acct.pm_bytes_written += npmu_b_->bytes_persisted();
+  for (const auto& shard : pm_shards_) {
+    if (shard.npmu_a) acct.pm_bytes_written += shard.npmu_a->bytes_persisted();
+    if (shard.npmu_b) acct.pm_bytes_written += shard.npmu_b->bytes_persisted();
+  }
   if (pmp_ != nullptr) acct.pm_bytes_written += pmp_->bytes_persisted();
   auto add_pair = [&](const nsk::PairMember* m) {
     if (m == nullptr) return;
@@ -241,8 +289,10 @@ Rig::PersistenceAccounting Rig::Account() const {
   for (auto* p : adp_backups_) add_pair(p);
   add_pair(tmf_primary_);
   add_pair(tmf_backup_);
-  add_pair(pmm_primary_);
-  add_pair(pmm_backup_);
+  for (const auto& shard : pm_shards_) {
+    add_pair(shard.pmm_primary);
+    add_pair(shard.pmm_backup);
+  }
   auto add_adp = [&](const tp::AdpProcess* a) {
     if (a == nullptr) return;
     acct.audit_flushes += a->flushes();

@@ -24,6 +24,7 @@
 #include "nsk/cluster.h"
 #include "pm/manager.h"
 #include "pm/npmu.h"
+#include "pm/shard_map.h"
 #include "sim/simulation.h"
 #include "storage/disk.h"
 #include "tp/adp.h"
@@ -47,7 +48,19 @@ struct RigConfig {
 
   tp::LogMedium log_medium = tp::LogMedium::kDisk;
   PmDeviceKind pm_device = PmDeviceKind::kNone;  // forced for kPm medium
+  // Scale-out: number of PMM pairs, each owning its own mirrored NPMU
+  // pair (disjoint pools). 1 = the paper's single-pair config, wired
+  // exactly as before (same names, same spawn order, golden-stable).
+  // With N > 1, PM regions are placed by the shard map, and each ADP
+  // stripes its audit log over one stream per shard. NPMU-pair mode
+  // only; the PMP prototype stays single-shard.
+  int num_pm_shards = 1;
   bool pm_tcb = false;            // PM-resident TMF control blocks
+  // Commit-resolution deadline before the TMF sheds the transaction.
+  // Open-loop saturation sweeps raise this: measuring capacity requires
+  // commits to be able to wait out the flush queue instead of timing
+  // out and wasting the audit bandwidth they already consumed.
+  sim::SimDuration tmf_resolve_timeout = sim::Milliseconds(500);
   bool retain_log_image = false;  // needed by cold-recovery experiments
   bool with_backups = true;       // process pairs (vs singletons)
   // Ablation: force each insert's audit to durable media synchronously
@@ -87,14 +100,25 @@ class Rig {
   [[nodiscard]] std::vector<tp::Dp2Process*>& dp2s() noexcept {
     return dp2_primaries_;
   }
-  [[nodiscard]] pm::PmManager* pmm() noexcept { return pmm_primary_; }
+  [[nodiscard]] pm::PmManager* pmm() noexcept {
+    return pm_shards_.empty() ? nullptr : pm_shards_.front().pmm_primary;
+  }
+  [[nodiscard]] pm::PmManager* pmm(int shard) noexcept {
+    return pm_shards_.at(static_cast<std::size_t>(shard)).pmm_primary;
+  }
+  [[nodiscard]] int num_pm_shards() const noexcept {
+    return static_cast<int>(pm_shards_.size());
+  }
+  [[nodiscard]] const pm::ShardMap& shard_map() const noexcept {
+    return shard_map_;
+  }
   [[nodiscard]] std::vector<storage::DiskVolume*> data_volumes() noexcept;
   [[nodiscard]] std::vector<storage::DiskVolume*> audit_volumes() noexcept;
 
   // ---- fault injection ----
   void KillAdpPrimary(int index);
   void KillTmfPrimary();
-  void KillPmmPrimary();
+  void KillPmmPrimary(int shard = 0);
   // Whole-node power loss: every process dies, volatile device state is
   // wiped; disks and NPMUs keep their contents. Call Restart() after.
   void PowerLoss();
@@ -127,14 +151,21 @@ class Rig {
   std::unique_ptr<nsk::Cluster> cluster_;
   db::Catalog catalog_;
 
+  // One persistence shard: a PMM pair and the mirrored NPMU pair it
+  // owns. The single-shard config is pm_shards_[0] with legacy names.
+  struct PmShard {
+    std::unique_ptr<pm::Npmu> npmu_a;
+    std::unique_ptr<pm::Npmu> npmu_b;
+    pm::PmManager* pmm_primary = nullptr;
+    pm::PmManager* pmm_backup = nullptr;
+  };
+
   std::vector<std::unique_ptr<storage::DiskVolume>> data_volumes_;
   std::vector<std::unique_ptr<storage::DiskVolume>> audit_volumes_;
-  std::unique_ptr<pm::Npmu> npmu_a_;
-  std::unique_ptr<pm::Npmu> npmu_b_;
+  std::vector<PmShard> pm_shards_;
+  pm::ShardMap shard_map_;
   pm::Pmp* pmp_ = nullptr;
 
-  pm::PmManager* pmm_primary_ = nullptr;
-  pm::PmManager* pmm_backup_ = nullptr;
   tp::TmfProcess* tmf_primary_ = nullptr;
   tp::TmfProcess* tmf_backup_ = nullptr;
   std::vector<tp::AdpProcess*> adp_primaries_;
