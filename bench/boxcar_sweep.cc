@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/durability.h"
 #include "common/trace.h"
 #include "workload/sweep.h"
 
@@ -84,5 +85,104 @@ int main() {
     sim.set_tracer(nullptr);
   }
   json.Write();
+
+  // Remote-durability ablation (ISSUE 8): the PM-enabled rig under each
+  // persist primitive x boxcar size. Every fabric write in the run —
+  // log appends, checkpoints, control blocks — pays its mode's persist
+  // round trip, so the txn response percentiles and the fabric byte/op
+  // counts quantify what correctness costs, and which correct mode is
+  // cheapest at each boxcar size.
+  {
+    const int dur_boxcars[] = {1, 8, 64};
+    constexpr int kDurK = 3;
+    const auto modes = AllDurabilityModes();
+    constexpr int kModes = 4;
+    struct DurCell {
+      double p50_us = 0, p99_us = 0, mean_us = 0, txn_per_sec = 0;
+      double committed = 0, records = 0;
+      double fabric_bytes = 0, persist_ops = 0, persist_bytes = 0;
+    };
+    DurCell cells[kModes][kDurK];
+
+    workload::ParallelSweep(kModes * kDurK, [&](int idx) {
+      const int m_idx = idx / kDurK;
+      const int k_idx = idx % kDurK;
+      sim::Simulation sim(5);
+      workload::Rig rig(sim, PaperRig(/*pm=*/true));
+      rig.cluster().fabric().set_durability_mode(modes[m_idx]);
+      sim.RunFor(sim::Seconds(1));
+      auto hs = PaperWorkload(/*drivers=*/2, dur_boxcars[k_idx]);
+      hs.records_per_driver = 500;
+      auto result = workload::RunHotStock(rig, hs);
+      const LatencyHistogram h = result.MergedResponse();
+      DurCell& c = cells[m_idx][k_idx];
+      c.p50_us = static_cast<double>(h.Percentile(0.5)) / 1e3;
+      c.p99_us = static_cast<double>(h.Percentile(0.99)) / 1e3;
+      c.mean_us = h.mean() / 1e3;
+      c.txn_per_sec = result.elapsed_seconds > 0
+                          ? static_cast<double>(result.TotalCommitted()) /
+                                result.elapsed_seconds
+                          : 0.0;
+      c.committed = static_cast<double>(result.TotalCommitted());
+      c.records = result.Throughput() * result.elapsed_seconds;
+      net::Fabric& fab = rig.cluster().fabric();
+      c.fabric_bytes = static_cast<double>(fab.bytes_transferred() +
+                                           fab.persist_bytes());
+      c.persist_ops = static_cast<double>(fab.persist_ops());
+      c.persist_bytes = static_cast<double>(fab.persist_bytes());
+    });
+
+    std::printf("\ndurability-mode ablation (PM rig, 2 drivers, 500 rec/drv)"
+                "\n\n");
+    std::printf("%-20s %7s %10s %10s %12s %13s\n", "mode", "boxcar",
+                "p50 (us)", "p99 (us)", "txn/s", "persist ops");
+    PrintRule(78);
+    bench::BenchJson dj("durability_modes");
+    JsonValue drows = JsonValue::Array();
+    for (int m = 0; m < kModes; ++m) {
+      for (int k = 0; k < kDurK; ++k) {
+        const DurCell& c = cells[m][k];
+        std::printf("%-20s %7d %10.1f %10.1f %12.0f %13.0f\n",
+                    DurabilityModeName(modes[m]), dur_boxcars[k], c.p50_us,
+                    c.p99_us, c.txn_per_sec, c.persist_ops);
+        JsonValue row = JsonValue::Object();
+        row.Set("mode", DurabilityModeName(modes[m]));
+        row.Set("boxcar", dur_boxcars[k]);
+        row.Set("p50_us", c.p50_us);
+        row.Set("p99_us", c.p99_us);
+        row.Set("mean_us", c.mean_us);
+        row.Set("txn_per_sec", c.txn_per_sec);
+        row.Set("committed", c.committed);
+        row.Set("fabric_bytes", c.fabric_bytes);
+        row.Set("persist_ops", c.persist_ops);
+        row.Set("persist_bytes", c.persist_bytes);
+        row.Set("fabric_bytes_per_record",
+                c.records > 0 ? c.fabric_bytes / c.records : 0.0);
+        drows.Append(std::move(row));
+      }
+    }
+    PrintRule(78);
+    // Cheapest CORRECT mode per boxcar size, by p99 response (p50 is
+    // histogram-quantized too coarsely to separate the modes;
+    // posted-write-only is the broken baseline — excluded by
+    // construction).
+    JsonValue cheapest = JsonValue::Object();
+    for (int k = 0; k < kDurK; ++k) {
+      int best = -1;
+      for (int m = 0; m < kModes; ++m) {
+        if (modes[m] == DurabilityMode::kPostedWriteOnly) continue;
+        if (best < 0 || cells[m][k].p99_us < cells[best][k].p99_us) best = m;
+      }
+      std::printf("boxcar %-3d cheapest correct mode: %s "
+                  "(p99 %.1fus vs posted %.1fus)\n",
+                  dur_boxcars[k], DurabilityModeName(modes[best]),
+                  cells[best][k].p99_us, cells[0][k].p99_us);
+      cheapest.Set(std::to_string(dur_boxcars[k]),
+                   DurabilityModeName(modes[best]));
+    }
+    dj.Set("rows", std::move(drows));
+    dj.Set("cheapest_correct", std::move(cheapest));
+    dj.Write();
+  }
   return 0;
 }

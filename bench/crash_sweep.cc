@@ -7,18 +7,33 @@
 // recovery invariants (I1-I4, workload/crash_rig.h) are checked. The
 // tests run a strided subset of this; the bench is the full matrix.
 //
+// The durability ablation re-runs the sweep with the NPMUs' volatile
+// staging buffers armed and the "volatile buffer lost" crash flavor,
+// once per DurabilityMode (common/durability.h). posted-write-only is
+// EXPECTED to violate I1-I4 — the sweep fails if it comes back clean
+// (a silently-green broken mode means the harness lost its teeth) —
+// while the three correct persist primitives must survive every site.
+//
 // ODS_CRASH_SWEEP_STRIDE=<n> subsamples (1 = exhaustive, the default).
+// ODS_DURABILITY_MODE selects the ablation: "all" (default) runs the
+// base sweep plus every mode, "off" runs the base sweep only, and a
+// mode name (posted-write-only|write-raw|write-ack|native-flush) runs
+// just that mode's volatile-buffer-loss sweep (the CI matrix legs).
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/durability.h"
 #include "workload/crash_rig.h"
 
 namespace ods {
 namespace {
 
 constexpr std::uint64_t kSeed = 11;
+// Expected violations print a capped sample; unexpected ones print all.
+constexpr std::size_t kMaxExpectedPrints = 5;
 
 int Stride() {
   if (const char* env = std::getenv("ODS_CRASH_SWEEP_STRIDE")) {
@@ -28,27 +43,26 @@ int Stride() {
   return 1;
 }
 
-int Run() {
-  const int stride = Stride();
-  workload::CrashRunResult record =
-      workload::RunCrashScenario(kSeed, workload::CrashMode::kNone,
-                                 std::nullopt);
-  if (!record.verified || !record.violations.empty()) {
-    std::printf("record pass FAILED:\n");
-    for (const auto& v : record.violations) std::printf("  %s\n", v.c_str());
-    return 1;
+void DumpTrace(const std::string& tag, std::size_t site,
+               const std::string& trace_json) {
+  // Post-mortem: the run's bounded span ring, Perfetto-loadable.
+  const std::string path = "CRASH_TRACE_" + tag + "_" +
+                           std::to_string(site) + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(trace_json.data(), 1, trace_json.size(), f);
+    std::fclose(f);
+    std::printf("  trace dumped to %s\n", path.c_str());
   }
-  std::printf("crash-point sweep: %zu sites enumerated, seed %llu, "
-              "stride %d\n",
-              record.trace.size(),
-              static_cast<unsigned long long>(kSeed), stride);
+}
+
+// Base sweep: the four classic crash modes on the seed-faithful rig
+// (no staging, posted-write-only). Returns the violation count.
+std::size_t RunBaseSweep(const workload::CrashRunResult& record, int stride,
+                         bench::BenchJson& json) {
   bench::PrintRule();
   std::printf("%-22s %10s %10s %12s\n", "crash mode", "runs", "violations",
               "regions/run");
   bench::PrintRule();
-
-  bench::BenchJson json("crash_sweep");
-  json.Set("sites", static_cast<double>(record.trace.size()));
   std::size_t total_runs = 0;
   std::size_t total_violations = 0;
   for (workload::CrashMode mode : workload::SweepableCrashModes()) {
@@ -67,15 +81,7 @@ int Run() {
                     record.trace[i].ToString().c_str(), v.c_str());
       }
       if (!r.violations.empty() && !r.trace_json.empty()) {
-        // Post-mortem: the run's bounded span ring, Perfetto-loadable.
-        const std::string path = "CRASH_TRACE_" +
-                                 std::string(CrashModeName(mode)) + "_" +
-                                 std::to_string(i) + ".json";
-        if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-          std::fwrite(r.trace_json.data(), 1, r.trace_json.size(), f);
-          std::fclose(f);
-          std::printf("  trace dumped to %s\n", path.c_str());
-        }
+        DumpTrace(CrashModeName(mode), i, r.trace_json);
       }
     }
     std::printf("%-22s %10zu %10zu %12.1f\n", CrashModeName(mode), runs,
@@ -95,8 +101,129 @@ int Run() {
               total_violations);
   json.Set("total_runs", static_cast<double>(total_runs));
   json.Set("total_violations", static_cast<double>(total_violations));
+  return total_violations;
+}
+
+// Durability ablation for one mode: staging armed, volatile-buffer-loss
+// crash at every (strided) site of the mode's own record trace. Returns
+// false when the sweep's verdict contradicts the mode's expectation.
+bool RunDurabilitySweep(DurabilityMode mode, int stride,
+                        bench::BenchJson& json) {
+  const workload::DurabilityOptions dur{mode, /*volatile_staging=*/true};
+  const bool expect_violation = mode == DurabilityMode::kPostedWriteOnly;
+  const std::string name = DurabilityModeName(mode);
+
+  // Per-mode record pass: persist phases shift event timing, so each
+  // mode reaches its own site sequence. No crash => even a broken mode
+  // must come back clean here (losses need a loss event).
+  workload::CrashRunResult record = workload::RunCrashScenario(
+      kSeed, workload::CrashMode::kNone, std::nullopt, false, dur);
+  if (!record.verified || !record.violations.empty()) {
+    std::printf("durability record pass FAILED for %s:\n", name.c_str());
+    for (const auto& v : record.violations) std::printf("  %s\n", v.c_str());
+    return false;
+  }
+
+  std::size_t runs = 0;
+  std::size_t violations = 0;
+  std::size_t printed = 0;
+  for (std::size_t i = 0; i < record.trace.size();
+       i += static_cast<std::size_t>(stride)) {
+    workload::CrashRunResult r = workload::RunCrashScenario(
+        kSeed, workload::CrashMode::kVolatileBufferLoss, i, false, dur);
+    ++runs;
+    if (!r.verified) ++violations;
+    violations += r.violations.size();
+    for (const auto& v : r.violations) {
+      if (expect_violation && printed >= kMaxExpectedPrints) continue;
+      std::printf("  %s @ site %zu (%s): %s%s\n", name.c_str(), i,
+                  record.trace[i].ToString().c_str(), v.c_str(),
+                  expect_violation ? " [expected]" : "");
+      ++printed;
+    }
+    if (!expect_violation && !r.violations.empty() && !r.trace_json.empty()) {
+      DumpTrace("durability_" + name, i, r.trace_json);
+    }
+  }
+  if (expect_violation && violations > printed) {
+    std::printf("  ... and %zu more expected %s violations suppressed\n",
+                violations - printed, name.c_str());
+  }
+  std::printf("%-22s %10zu %10zu %12s\n", name.c_str(), runs, violations,
+              expect_violation ? "expect >0" : "expect 0");
+  json.Set("durability_" + name + "_runs", static_cast<double>(runs));
+  json.Set("durability_" + name + "_violations",
+           static_cast<double>(violations));
+  json.Set("durability_" + name + "_expected_violation",
+           expect_violation ? 1.0 : 0.0);
+
+  if (expect_violation && violations == 0) {
+    std::printf("FAIL: %s swept SILENTLY GREEN — the volatile-buffer-loss "
+                "flavor no longer bites and the ablation proves nothing\n",
+                name.c_str());
+    return false;
+  }
+  if (!expect_violation && violations != 0) {
+    std::printf("FAIL: correct mode %s violated invariants under "
+                "volatile-buffer-loss\n",
+                name.c_str());
+    return false;
+  }
+  return true;
+}
+
+int Run() {
+  const int stride = Stride();
+  const char* mode_env = std::getenv("ODS_DURABILITY_MODE");
+  const std::string mode_sel = mode_env != nullptr ? mode_env : "all";
+
+  bench::BenchJson json("crash_sweep");
+  bool ok = true;
+  std::size_t base_violations = 0;
+
+  if (mode_sel == "all" || mode_sel == "off") {
+    workload::CrashRunResult record = workload::RunCrashScenario(
+        kSeed, workload::CrashMode::kNone, std::nullopt);
+    if (!record.verified || !record.violations.empty()) {
+      std::printf("record pass FAILED:\n");
+      for (const auto& v : record.violations) {
+        std::printf("  %s\n", v.c_str());
+      }
+      return 1;
+    }
+    std::printf("crash-point sweep: %zu sites enumerated, seed %llu, "
+                "stride %d\n",
+                record.trace.size(),
+                static_cast<unsigned long long>(kSeed), stride);
+    json.Set("sites", static_cast<double>(record.trace.size()));
+    base_violations = RunBaseSweep(record, stride, json);
+    ok = ok && base_violations == 0;
+  }
+
+  if (mode_sel != "off") {
+    std::printf("\ndurability ablation: volatile-buffer-loss sweep, "
+                "stride %d\n",
+                stride);
+    bench::PrintRule();
+    std::printf("%-22s %10s %10s %12s\n", "durability mode", "runs",
+                "violations", "verdict");
+    bench::PrintRule();
+    if (mode_sel == "all") {
+      for (DurabilityMode m : AllDurabilityModes()) {
+        ok = RunDurabilitySweep(m, stride, json) && ok;
+      }
+    } else if (std::optional<DurabilityMode> m = ParseDurabilityMode(mode_sel)) {
+      ok = RunDurabilitySweep(*m, stride, json) && ok;
+    } else {
+      std::printf("unknown ODS_DURABILITY_MODE '%s'\n", mode_sel.c_str());
+      return 2;
+    }
+    bench::PrintRule();
+  }
+
+  json.Set("ok", ok ? 1.0 : 0.0);
   json.Write();
-  return total_violations == 0 ? 0 : 1;
+  return ok ? 0 : 1;
 }
 
 }  // namespace

@@ -133,6 +133,31 @@ int main() {
       (void)co_await self.Call("$echo", 1, {});
     });
     rows.push_back({"message round trip", 0, us});
+
+    // Remote-durability ablation: the same mirrored PM write under each
+    // persist primitive (common/durability.h). posted-write-only is the
+    // rows above; the others add their persist round trip per mirror leg.
+    auto mode_label = [](DurabilityMode m) -> const char* {
+      switch (m) {
+        case DurabilityMode::kPostedWriteOnly:
+          return "pm_write (posted-write-only)";
+        case DurabilityMode::kNativeFlush: return "pm_write (native-flush)";
+        case DurabilityMode::kReadAfterWrite: return "pm_write (write-raw)";
+        case DurabilityMode::kDeviceAck: return "pm_write (write-ack)";
+      }
+      return "?";
+    };
+    for (DurabilityMode m : AllDurabilityModes()) {
+      cluster.fabric().set_durability_mode(m);
+      for (std::uint64_t size : {64ull, 4096ull}) {
+        us = co_await time_op(self, [&]() -> Task<void> {
+          (void)co_await region->Write(
+              0, std::vector<std::byte>(size, std::byte{5}));
+        });
+        rows.push_back({mode_label(m), size, us});
+      }
+    }
+    cluster.fabric().set_durability_mode(DurabilityMode::kPostedWriteOnly);
   });
   sim.Run();
 

@@ -1,0 +1,77 @@
+// Remote-durability primitives (PAPERS.md, "Correct, Fast Remote
+// Persistence").
+//
+// The paper's fabric treats a completed RDMA write as durable, but on
+// real hardware the final ack only means the data reached the remote
+// NIC: it can still be parked in volatile NIC/PCIe staging buffers when
+// power fails. Deployed systems therefore pair every durable write with
+// an explicit persist primitive, each with its own cost and failure
+// mode. This enum names the four candidates; the fabric executes them
+// (net/fabric.cc), the NPMU models the staging buffer they drain
+// (pm/npmu.cc), and the crash harness shows which ones actually survive
+// a "volatile buffer lost" event (workload/crash_rig.cc).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace ods {
+
+enum class DurabilityMode {
+  // The seed's (incorrect-on-real-hardware) assumption: the write ack IS
+  // the durability point. Cheapest — and provably loses acked data when
+  // the staging buffer dies.
+  kPostedWriteOnly,
+  // Read-after-write: a small RDMA read behind the write forces the
+  // target PCIe complex to flush posted writes before the read response
+  // can be produced. Correct; costs an extra read round trip.
+  kReadAfterWrite,
+  // The "appliance method": a send rides behind the write and a
+  // device-side agent drains the buffers and acks. Correct; costs a
+  // message round trip plus remote-agent latency — the most expensive.
+  kDeviceAck,
+  // A native RDMA flush work request: the NIC itself drains its staging
+  // to media and completes. Correct, and the cheapest correct mode.
+  kNativeFlush,
+};
+
+[[nodiscard]] constexpr const char* DurabilityModeName(
+    DurabilityMode mode) noexcept {
+  switch (mode) {
+    case DurabilityMode::kPostedWriteOnly: return "posted-write-only";
+    case DurabilityMode::kReadAfterWrite: return "write-raw";
+    case DurabilityMode::kDeviceAck: return "write-ack";
+    case DurabilityMode::kNativeFlush: return "native-flush";
+  }
+  return "?";
+}
+
+// Accepts the canonical names above plus the long aliases used in docs
+// and env vars. Returns nullopt for anything else.
+[[nodiscard]] inline std::optional<DurabilityMode> ParseDurabilityMode(
+    std::string_view name) noexcept {
+  if (name == "posted-write-only" || name == "posted") {
+    return DurabilityMode::kPostedWriteOnly;
+  }
+  if (name == "write-raw" || name == "read-after-write" || name == "raw") {
+    return DurabilityMode::kReadAfterWrite;
+  }
+  if (name == "write-ack" || name == "device-ack" || name == "ack") {
+    return DurabilityMode::kDeviceAck;
+  }
+  if (name == "native-flush" || name == "flush") {
+    return DurabilityMode::kNativeFlush;
+  }
+  return std::nullopt;
+}
+
+// Every mode, in sweep order (cheap -> expensive among the correct ones,
+// with the broken baseline first).
+[[nodiscard]] inline constexpr std::array<DurabilityMode, 4>
+AllDurabilityModes() noexcept {
+  return {DurabilityMode::kPostedWriteOnly, DurabilityMode::kNativeFlush,
+          DurabilityMode::kReadAfterWrite, DurabilityMode::kDeviceAck};
+}
+
+}  // namespace ods

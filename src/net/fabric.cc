@@ -66,10 +66,11 @@ Result<AttWindow*> Endpoint::Translate(EndpointId initiator, std::uint64_t nva,
 
 sim::Future<Status> Endpoint::StartWrite(EndpointId target, std::uint64_t nva,
                                          std::vector<std::byte> data,
-                                         std::uint64_t op_id) {
+                                         std::uint64_t op_id,
+                                         std::optional<DurabilityMode> mode) {
   std::vector<ChainSegment> segments;
   segments.push_back(ChainSegment{nva, std::move(data)});
-  return StartWriteChain(target, std::move(segments), op_id);
+  return StartWriteChain(target, std::move(segments), op_id, mode);
 }
 
 namespace {
@@ -80,19 +81,50 @@ struct LandedLeg {
   std::byte* base;
   std::function<void(std::uint64_t, std::uint64_t)> on_write;
   std::uint64_t window_off;
+  std::uint64_t nva;  // device network virtual address (staging model)
   std::vector<std::byte> payload;
   std::uint64_t landed;  // bytes of this leg that arrived intact
 };
+
+// Persist-phase shape of one durability mode: extra command/response
+// packets on the wire, extra command bytes, and the trace span name. The
+// latency comes from FabricConfig's per-mode knobs.
+struct PersistShape {
+  std::uint64_t packets;
+  std::uint64_t bytes;
+  bool is_read;  // RAW's flush is a real RDMA read
+  const char* span;
+};
+
+PersistShape ShapeFor(DurabilityMode mode) noexcept {
+  switch (mode) {
+    case DurabilityMode::kReadAfterWrite:
+      // Read request + 8-byte response.
+      return {2, 8, /*is_read=*/true, "rdma.persist.raw"};
+    case DurabilityMode::kDeviceAck:
+      // Send to the device agent + its ack message.
+      return {2, 32, /*is_read=*/false, "rdma.persist.devack"};
+    case DurabilityMode::kNativeFlush:
+      // One flush work request chained behind the data.
+      return {1, 16, /*is_read=*/false, "rdma.persist.flush"};
+    case DurabilityMode::kPostedWriteOnly:
+      break;
+  }
+  return {0, 0, false, nullptr};
+}
 
 }  // namespace
 
 sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
                                               std::vector<ChainSegment> segments,
-                                              std::uint64_t op_id) {
+                                              std::uint64_t op_id,
+                                              std::optional<DurabilityMode> mode) {
   sim::Promise<Status> done(fabric_.sim());
   auto fut = done.GetFuture();
   auto& sim = fabric_.sim();
   const FabricConfig& cfg = fabric_.config();
+  const DurabilityMode dmode = mode.value_or(cfg.durability_mode);
+  const bool persist_phase = dmode != DurabilityMode::kPostedWriteOnly;
 
   // Crash-point instrumentation: every write completion — the moment the
   // initiator learns the outcome — is an injection site. The site fires
@@ -140,7 +172,15 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
     total += seg.data.size();
     legs.push_back(LandedLeg{(*win)->memory + (seg.nva - (*win)->nva_base),
                              (*win)->on_write, seg.nva - (*win)->nva_base,
-                             std::move(seg.data), 0});
+                             seg.nva, std::move(seg.data), 0});
+  }
+  // Staging ticket shared between the delivery event (which stages the
+  // landed bytes) and the persist event (which drains them): only needed
+  // when the target models a volatile buffer AND this op has a persist
+  // phase to check it. Allocation-free on the default path.
+  std::shared_ptr<std::uint64_t> ticket;
+  if (persist_phase && tgt->stage_hook_) {
+    ticket = std::make_shared<std::uint64_t>(0);
   }
 
   // Packetize each segment in order along one timeline: the whole chain
@@ -196,26 +236,77 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
     if (aborted) break;
   }
   if (any_landed) {
-    sim.After(last_land, [batch = std::move(legs)] {
+    sim.After(last_land, [batch = std::move(legs), tgt, ticket] {
+      std::uint64_t tk = 0;
       for (const LandedLeg& leg : batch) {
         if (leg.landed == 0) continue;
         std::memcpy(leg.base, leg.payload.data(), leg.landed);
         if (leg.on_write) leg.on_write(leg.window_off, leg.landed);
+        if (tgt->stage_hook_) tk = tgt->stage_hook_(leg.nva, leg.landed);
       }
+      if (ticket) *ticket = tk;
     });
   }
+  SimDuration completion = t + cfg.ack_latency;
   if (!aborted) {
     fabric_.bytes_transferred_ += total;
     // Site args: {first nva, total bytes} — crash sweeps use them to spot
     // metadata-slot writes landing on a device.
     const std::uint64_t first_nva = first_seg_nva;
-    sim.After(t + cfg.ack_latency, [&sim, done, target, first_nva,
-                                    total]() mutable {
-      sim::FaultPoint(sim, sim::FaultSiteKind::kRdmaWriteComplete,
-                      "write-ack:ep" + std::to_string(target.value),
-                      {first_nva, total});
-      done.Set(OkStatus());
-    });
+    if (!persist_phase) {
+      sim.After(completion, [&sim, done, target, first_nva,
+                             total]() mutable {
+        sim::FaultPoint(sim, sim::FaultSiteKind::kRdmaWriteComplete,
+                        "write-ack:ep" + std::to_string(target.value),
+                        {first_nva, total});
+        done.Set(OkStatus());
+      });
+    } else {
+      // Persist phase: the mode's primitive rides behind the data on the
+      // same QP, drains the target's staging buffer, and only then is the
+      // op's completion externalized. A staging loss in the window between
+      // landing and the drain fails the op — the initiator never gets a
+      // durability ack for bytes that are gone.
+      const PersistShape shape = ShapeFor(dmode);
+      const SimDuration persist_lat =
+          dmode == DurabilityMode::kReadAfterWrite ? cfg.persist_raw_latency
+          : dmode == DurabilityMode::kDeviceAck    ? cfg.persist_ack_latency
+                                                   : cfg.persist_flush_latency;
+      completion = t +
+                   cfg.packet_latency *
+                       static_cast<std::int64_t>(shape.packets) +
+                   persist_lat + cfg.ack_latency;
+      fabric_.persist_ops_total_++;
+      fabric_.persist_packets_ += shape.packets;
+      fabric_.persist_bytes_ += shape.bytes;
+      fabric_.packets_sent_ += shape.packets;
+      if (shape.is_read) {
+        fabric_.rdma_read_ops_++;
+        fabric_.read_packets_ += shape.packets;
+      } else {
+        fabric_.write_packets_ += shape.packets;
+      }
+      fabric_.PersistCounter(dmode).Increment();
+      Fabric& fab = fabric_;
+      sim.After(completion, [&sim, &fab, done, target, first_nva, total, tgt,
+                             ticket]() mutable {
+        const bool persisted =
+            tgt->persist_hook_ ? tgt->persist_hook_(ticket ? *ticket : 0)
+                               : true;
+        if (!persisted) {
+          fab.persist_failures_++;
+          sim::FaultPoint(sim, sim::FaultSiteKind::kRdmaWriteComplete,
+                          "write-err:ep" + std::to_string(target.value));
+          done.Set(Status(ErrorCode::kDataLoss,
+                          "staged data lost before persist"));
+          return;
+        }
+        sim::FaultPoint(sim, sim::FaultSiteKind::kRdmaWriteComplete,
+                        "write-ack:ep" + std::to_string(target.value),
+                        {first_nva, total});
+        done.Set(OkStatus());
+      });
+    }
   }
   // Span covering initiation to final ack. Everything is known at post
   // time (discrete-event model), so recording here keeps event order —
@@ -225,6 +316,14 @@ sim::Future<Status> Endpoint::StartWriteChain(EndpointId target,
                  aborted ? "rdma.write.crc_abort" : "rdma.write", now.ns,
                  (now + t + cfg.ack_latency).ns, op_id, "bytes", total, "rail",
                  rail < 0 ? 0 : static_cast<std::uint64_t>(rail));
+    if (!aborted && persist_phase) {
+      // The persist round trip gets its own span so a Perfetto trace
+      // shows exactly where each mode's extra latency lands.
+      tr->Complete(TraceLane::kFabric, ShapeFor(dmode).span,
+                   (now + t + cfg.ack_latency).ns, (now + completion).ns,
+                   op_id, "bytes", ShapeFor(dmode).bytes, "mode",
+                   static_cast<std::uint64_t>(dmode));
+    }
   }
   return fut;
 }
@@ -333,13 +432,14 @@ sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
 sim::Task<Status> Endpoint::Write(sim::Process& proc, EndpointId target,
                                   std::uint64_t nva,
                                   std::vector<std::byte> data,
-                                  std::uint64_t op_id) {
+                                  std::uint64_t op_id,
+                                  std::optional<DurabilityMode> mode) {
   // Retry once per rail on transient unavailability — models the NSK
   // message system's automatic X/Y rail failover.
   Status last;
   for (int attempt = 0; attempt < std::max(1, fabric_.config().num_rails);
        ++attempt) {
-    last = co_await StartWrite(target, nva, data, op_id).Wait(proc);
+    last = co_await StartWrite(target, nva, data, op_id, mode).Wait(proc);
     if (last.ok() || last.code() != ErrorCode::kUnavailable) co_return last;
     if (fabric_.FirstHealthyRail() < 0) co_return last;
   }
@@ -387,6 +487,18 @@ Fabric::Fabric(sim::Simulation& sim, FabricConfig config)
         &sim_.metrics().GetCounter("fabric.rail" + std::to_string(r) +
                                    ".packets"));
   }
+}
+
+Counter& Fabric::PersistCounter(DurabilityMode mode) {
+  // Registered on first use, not at construction: a default-mode run
+  // never persists, and its metrics export must stay byte-identical to
+  // the seed's (trace-determinism goldens).
+  Counter*& c = persist_ops_[static_cast<std::size_t>(mode)];
+  if (c == nullptr) {
+    c = &sim_.metrics().GetCounter(std::string("fabric.persist.") +
+                                   DurabilityModeName(mode));
+  }
+  return *c;
 }
 
 Endpoint& Fabric::CreateEndpoint(std::string name) {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durability.h"
 #include "common/status.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
@@ -54,6 +55,23 @@ struct FabricConfig {
   // Hardware acknowledgement latency for the final packet.
   sim::SimDuration ack_latency = sim::Microseconds(1);
   int num_rails = 2;
+
+  // ---- remote durability (common/durability.h) ----
+  // Persist primitive executed after the data packets of every RDMA
+  // write. kPostedWriteOnly reproduces the seed behaviour exactly: the
+  // write ack is treated as the durability point and no persist phase is
+  // scheduled (zero extra events, zero extra latency). The other modes
+  // drain the target's staging buffer before the future resolves, each
+  // paying its own device-side cost below.
+  DurabilityMode durability_mode = DurabilityMode::kPostedWriteOnly;
+  // Native flush: the NIC drains its own staging to media.
+  sim::SimDuration persist_flush_latency = sim::Microseconds(2);
+  // Read-after-write: the target PCIe complex flushes posted writes
+  // before producing the read response (a full extra round trip).
+  sim::SimDuration persist_raw_latency = sim::Microseconds(4);
+  // Device-ack ("appliance method"): a device-side agent drains and
+  // acks — remote-CPU latency dominates.
+  sim::SimDuration persist_ack_latency = sim::Microseconds(8);
 };
 
 // Window of a target endpoint's network virtual address space mapped onto
@@ -107,6 +125,26 @@ class Endpoint {
   void SetDown(bool down) noexcept { down_ = down; }
   [[nodiscard]] bool down() const noexcept { return down_; }
 
+  // ---- target side: volatile staging model (durability ablation) ----
+  //
+  // A device that models a volatile NIC/PCIe staging buffer installs
+  // these. `stage` is called when a write's payload lands (per chain
+  // leg: first nva, landed bytes) and returns a staging ticket; `persist`
+  // is called by the fabric's persist phase — it drains the whole staging
+  // buffer to media and returns false iff a loss event (crash) happened
+  // after the ticket was issued, i.e. the write's bytes are gone and the
+  // op must NOT be acked as durable. Unset hooks (the default) mean
+  // landed == durable, the seed model.
+  void InstallStagingHooks(
+      std::function<std::uint64_t(std::uint64_t nva, std::uint64_t len)> stage,
+      std::function<bool(std::uint64_t ticket)> persist) {
+    stage_hook_ = std::move(stage);
+    persist_hook_ = std::move(persist);
+  }
+  [[nodiscard]] bool has_staging_hooks() const noexcept {
+    return static_cast<bool>(stage_hook_);
+  }
+
   // ---- initiator side: host-initiated RDMA ----
 
   // Begins an RDMA write of `data` to `target`'s address space at `nva`.
@@ -117,9 +155,17 @@ class Endpoint {
   // `op_id` is an opaque correlation id carried into the trace stream
   // (0 = untagged); the TP layer threads the committing transaction id
   // down here so one commit's fabric ops can be picked out end to end.
+  //
+  // `mode` overrides the fabric-wide durability mode for this op
+  // (nullopt = FabricConfig::durability_mode). Non-posted modes resolve
+  // the future only after the mode's persist primitive completed on the
+  // target — and fail with kDataLoss if the target's staging buffer was
+  // lost in the window between landing and persisting.
   sim::Future<Status> StartWrite(EndpointId target, std::uint64_t nva,
                                  std::vector<std::byte> data,
-                                 std::uint64_t op_id = 0);
+                                 std::uint64_t op_id = 0,
+                                 std::optional<DurabilityMode> mode =
+                                     std::nullopt);
 
   // Begins a chained RDMA write: all segments are posted as ONE fabric
   // operation (a doorbell-batched work-queue chain), so the whole chain
@@ -133,7 +179,9 @@ class Endpoint {
   // chain before anything lands.
   sim::Future<Status> StartWriteChain(EndpointId target,
                                       std::vector<ChainSegment> segments,
-                                      std::uint64_t op_id = 0);
+                                      std::uint64_t op_id = 0,
+                                      std::optional<DurabilityMode> mode =
+                                          std::nullopt);
 
   // Begins an RDMA read of `len` bytes from `target` at `nva`.
   sim::Future<RdmaResult> StartRead(EndpointId target, std::uint64_t nva,
@@ -143,7 +191,8 @@ class Endpoint {
   // Synchronous (fiber-blocking) variants with automatic rail failover.
   sim::Task<Status> Write(sim::Process& proc, EndpointId target,
                           std::uint64_t nva, std::vector<std::byte> data,
-                          std::uint64_t op_id = 0);
+                          std::uint64_t op_id = 0,
+                          std::optional<DurabilityMode> mode = std::nullopt);
   sim::Task<RdmaResult> Read(sim::Process& proc, EndpointId target,
                              std::uint64_t nva, std::uint64_t len,
                              std::uint64_t op_id = 0);
@@ -174,6 +223,8 @@ class Endpoint {
   EndpointId id_;
   std::string name_;
   bool down_ = false;
+  std::function<std::uint64_t(std::uint64_t, std::uint64_t)> stage_hook_;
+  std::function<bool(std::uint64_t)> persist_hook_;
   std::vector<AttWindow> windows_;
   sim::Channel<Packet> incoming_;
   // Ingress link occupancy: concurrent transfers to the same endpoint
@@ -191,6 +242,16 @@ class Fabric {
   [[nodiscard]] Endpoint* Find(EndpointId id) noexcept;
   [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
   [[nodiscard]] const FabricConfig& config() const noexcept { return config_; }
+
+  // Fabric-wide durability mode for writes that don't pass a per-op
+  // override. Settable at runtime so a rig can sweep the modes without
+  // rebuilding the cluster.
+  void set_durability_mode(DurabilityMode mode) noexcept {
+    config_.durability_mode = mode;
+  }
+  [[nodiscard]] DurabilityMode durability_mode() const noexcept {
+    return config_.durability_mode;
+  }
 
   // ---- fault injection ----
 
@@ -239,6 +300,23 @@ class Fabric {
   [[nodiscard]] std::uint64_t bytes_transferred() const noexcept {
     return bytes_transferred_;
   }
+  // Persist-primitive accounting: ops/packets/bytes spent on the persist
+  // phase of non-posted durability modes (excluded from
+  // bytes_transferred(), which counts payload only).
+  [[nodiscard]] std::uint64_t persist_ops() const noexcept {
+    return persist_ops_total_;
+  }
+  [[nodiscard]] std::uint64_t persist_packets() const noexcept {
+    return persist_packets_;
+  }
+  [[nodiscard]] std::uint64_t persist_bytes() const noexcept {
+    return persist_bytes_;
+  }
+  // Writes failed because the target's staging buffer was lost between
+  // landing and persist (only non-posted modes can detect this).
+  [[nodiscard]] std::uint64_t persist_failures() const noexcept {
+    return persist_failures_;
+  }
 
   // Duration of `bytes` on the wire (packetized).
   [[nodiscard]] sim::SimDuration TransferTime(std::uint64_t bytes) const;
@@ -249,6 +327,10 @@ class Fabric {
   // Picks the rail for the next RDMA op: round-robin over healthy rails
   // (accounting only; the timing model is rail-agnostic). -1 = none up.
   [[nodiscard]] int PickRail() noexcept;
+
+  // Lazily registered "fabric.persist.<mode>" counter (first-use
+  // registration keeps default-mode metric exports seed-identical).
+  [[nodiscard]] Counter& PersistCounter(DurabilityMode mode);
 
   sim::Simulation& sim_;
   FabricConfig config_;
@@ -263,10 +345,17 @@ class Fabric {
   std::uint64_t rdma_read_ops_ = 0;
   std::uint64_t write_packets_ = 0;
   std::uint64_t read_packets_ = 0;
+  std::uint64_t persist_ops_total_ = 0;
+  std::uint64_t persist_packets_ = 0;
+  std::uint64_t persist_bytes_ = 0;
+  std::uint64_t persist_failures_ = 0;
   // Cached registry counters, one per rail ("fabric.rail<K>.packets");
   // resolved once at construction so the per-packet path is a pointer
   // bump, not a name lookup.
   std::vector<Counter*> rail_packets_;
+  // Cached per-mode persist-op counters ("fabric.persist.<mode>"),
+  // indexed by DurabilityMode; slot 0 (posted) is unused.
+  std::array<Counter*, 4> persist_ops_{};
   std::size_t next_rail_ = 0;  // round-robin cursor for PickRail
 };
 

@@ -91,8 +91,30 @@ Task<Result<std::uint64_t>> PmClient::Resilver() {
 
 // ----------------------------------------------------------------- region
 
+namespace {
+
+// Trace marker emitted at write completion so a Perfetto view shows which
+// persist primitive a completion waited on (nullptr = posted-only, no
+// marker — indistinguishable from the seed by design).
+const char* PersistSpanName(DurabilityMode mode) noexcept {
+  switch (mode) {
+    case DurabilityMode::kReadAfterWrite: return "pm.persist.raw";
+    case DurabilityMode::kDeviceAck: return "pm.persist.devack";
+    case DurabilityMode::kNativeFlush: return "pm.persist.flush";
+    case DurabilityMode::kPostedWriteOnly: break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 sim::Simulation* PmRegion::simulation() noexcept {
   return host_ == nullptr ? nullptr : &host_->sim();
+}
+
+DurabilityMode PmRegion::EffectiveDurability() const noexcept {
+  if (durability_.has_value()) return *durability_;
+  return host_->cpu().endpoint().fabric().config().durability_mode;
 }
 
 Task<bool> PmRegion::ReportDeviceDown(std::uint32_t endpoint) {
@@ -161,6 +183,10 @@ Task<Status> PmRegion::CompleteMirrored(sim::Future<Status> fp,
     tr->Complete(TraceLane::kPmClient, span_name, issued_ns,
                  host_->sim().Now().ns, op_id, "bytes", nbytes, "ok",
                  st.ok() ? 1 : 0);
+    if (const char* pn = PersistSpanName(EffectiveDurability())) {
+      tr->Instant(TraceLane::kPmClient, pn, host_->sim().Now().ns, op_id,
+                  "ok", st.ok() ? 1 : 0);
+    }
   }
   co_return st;
 }
@@ -193,11 +219,11 @@ Task<Status> PmRegion::Write(std::uint64_t offset,
   // Issue to both mirrors in parallel; durability requires the write to
   // land on every up-to-date mirror.
   auto f_primary = ep.StartWrite(net::EndpointId{handle_.primary_endpoint},
-                                 nva, data, op_id);
+                                 nva, data, op_id, durability_);
   std::optional<sim::Future<Status>> f_mirror;
   if (handle_.mirror_up) {
     f_mirror = ep.StartWrite(net::EndpointId{handle_.mirror_endpoint}, nva,
-                             std::move(data), op_id);
+                             std::move(data), op_id, durability_);
   }
   Status sp = co_await f_primary.Wait(*host_);
   std::optional<Status> sm;
@@ -207,6 +233,10 @@ Task<Status> PmRegion::Write(std::uint64_t offset,
     tr->Complete(TraceLane::kPmClient, "pm.write", issued_ns,
                  host_->sim().Now().ns, op_id, "bytes", nbytes, "ok",
                  st.ok() ? 1 : 0);
+    if (const char* pn = PersistSpanName(EffectiveDurability())) {
+      tr->Instant(TraceLane::kPmClient, pn, host_->sim().Now().ns, op_id,
+                  "ok", st.ok() ? 1 : 0);
+    }
   }
   co_return st;
 }
@@ -227,11 +257,11 @@ PmWriteToken PmRegion::WriteAsync(std::uint64_t offset,
   // Both mirror legs are on the wire before this returns; completion
   // (including failover) runs in a detached fiber behind the token.
   auto fp = ep.StartWrite(net::EndpointId{handle_.primary_endpoint}, nva,
-                          data, op_id);
+                          data, op_id, durability_);
   std::optional<sim::Future<Status>> fm;
   if (handle_.mirror_up) {
     fm = ep.StartWrite(net::EndpointId{handle_.mirror_endpoint}, nva,
-                       std::move(data), op_id);
+                       std::move(data), op_id, durability_);
   }
   return LaunchMirrored(std::move(fp), std::move(fm), nbytes,
                         "pm.write_async", issued_ns, op_id);
@@ -257,11 +287,11 @@ PmWriteToken PmRegion::WriteChainAsync(std::vector<ScatterOp> ops,
   net::Endpoint& ep = host_->cpu().endpoint();
   const std::int64_t issued_ns = host_->sim().Now().ns;
   auto fp = ep.StartWriteChain(net::EndpointId{handle_.primary_endpoint},
-                               segments, op_id);
+                               segments, op_id, durability_);
   std::optional<sim::Future<Status>> fm;
   if (handle_.mirror_up) {
     fm = ep.StartWriteChain(net::EndpointId{handle_.mirror_endpoint},
-                            std::move(segments), op_id);
+                            std::move(segments), op_id, durability_);
   }
   return LaunchMirrored(std::move(fp), std::move(fm), nbytes,
                         "pm.write_chain", issued_ns, op_id);
@@ -305,11 +335,12 @@ Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops,
     }
     total += op.bytes.size();
     const std::uint64_t nva = handle_.nva + op.offset;
-    Legs l{ep.StartWrite(net::EndpointId{primary_ep}, nva, op.bytes, op_id),
+    Legs l{ep.StartWrite(net::EndpointId{primary_ep}, nva, op.bytes, op_id,
+                         durability_),
            std::nullopt};
     if (handle_.mirror_up) {
       l.mirror = ep.StartWrite(net::EndpointId{mirror_ep}, nva,
-                               std::move(op.bytes), op_id);
+                               std::move(op.bytes), op_id, durability_);
     }
     legs.push_back(std::move(l));
   }
@@ -360,6 +391,10 @@ Task<Status> PmRegion::WriteScatter(std::vector<ScatterOp> ops,
   if (Tracer* tr = host_->sim().tracer(); tr != nullptr && tr->enabled()) {
     tr->Complete(TraceLane::kPmClient, "pm.write_scatter", issued_ns,
                  host_->sim().Now().ns, op_id, "bytes", total, "ops", n_ops);
+    if (const char* pn = PersistSpanName(EffectiveDurability())) {
+      tr->Instant(TraceLane::kPmClient, pn, host_->sim().Now().ns, op_id,
+                  "ops", n_ops);
+    }
   }
   co_return first_error;
 }

@@ -116,6 +116,21 @@ class PmRegion {
                                                  std::uint64_t len,
                                                  std::uint64_t op_id = 0);
 
+  // ---- durability (common/durability.h) ----
+  //
+  // Per-region override of the fabric-wide durability mode; every write
+  // this region issues carries it down to the persist phase. nullopt
+  // (default) = follow FabricConfig::durability_mode.
+  void set_durability(std::optional<DurabilityMode> mode) noexcept {
+    durability_ = mode;
+  }
+  [[nodiscard]] std::optional<DurabilityMode> durability() const noexcept {
+    return durability_;
+  }
+  // The mode this region's writes actually run under (override or the
+  // fabric default). Only meaningful on a bound region.
+  [[nodiscard]] DurabilityMode EffectiveDurability() const noexcept;
+
   // ---- accounting ----
   [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
   [[nodiscard]] std::uint64_t bytes_written() const noexcept {
@@ -170,6 +185,7 @@ class PmRegion {
   nsk::NskProcess* host_ = nullptr;
   RegionHandle handle_;
   std::string owner_service_;
+  std::optional<DurabilityMode> durability_;
   std::uint64_t writes_ = 0;
   std::uint64_t bytes_written_ = 0;
 };

@@ -55,6 +55,17 @@ sim::Task<void> DirectPm::PersistBarrier(sim::Process& proc) {
                       config_.flush_line_latency * n);
 }
 
+sim::Task<void> DirectPm::Persist(sim::Process& proc, std::uint64_t offset,
+                                  std::uint64_t len, DurabilityMode mode) {
+  ++persist_calls_;
+  if (mode == DurabilityMode::kPostedWriteOnly) co_return;
+  co_await FlushLines(proc, offset, len);
+  if (mode == DurabilityMode::kReadAfterWrite ||
+      mode == DurabilityMode::kDeviceAck) {
+    co_await proc.Sleep(config_.barrier_latency);
+  }
+}
+
 void DirectPm::PowerFail() {
   // Buffered-but-unflushed lines are lost: the CPU-visible image reverts
   // to the durable contents.

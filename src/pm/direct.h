@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/durability.h"
 #include "sim/process.h"
 #include "sim/time.h"
 
@@ -56,6 +57,19 @@ class DirectPm {
   // Drains every dirty line (full persist barrier).
   sim::Task<void> PersistBarrier(sim::Process& proc);
 
+  // The local analog of the remote persist primitives
+  // (common/durability.h), so direct-attached code paths share the same
+  // mode axis as the fabric: kPostedWriteOnly leaves the range in the
+  // volatile store buffer (nothing durable — the §3.2 hazard);
+  // kNativeFlush writes the covering lines back; kReadAfterWrite and
+  // kDeviceAck additionally pay the draining-barrier latency (the
+  // ordering fence their remote counterparts imply).
+  sim::Task<void> Persist(sim::Process& proc, std::uint64_t offset,
+                          std::uint64_t len, DurabilityMode mode);
+  [[nodiscard]] std::uint64_t persist_calls() const noexcept {
+    return persist_calls_;
+  }
+
   // Power loss: buffered lines vanish; the durable array survives.
   void PowerFail();
 
@@ -74,6 +88,7 @@ class DirectPm {
   std::vector<std::byte> durable_;
   std::vector<std::byte> buffered_;  // CPU-visible contents
   std::set<std::uint64_t> dirty_lines_;
+  std::uint64_t persist_calls_ = 0;
 };
 
 }  // namespace ods::pm

@@ -1,13 +1,59 @@
 #include "pm/npmu.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace ods::pm {
 
 Npmu::Npmu(net::Fabric& fabric, std::string name, NpmuConfig config)
     : name_(std::move(name)), config_(config),
       memory_(kMetadataBytes + config.capacity_bytes),
-      endpoint_(fabric.CreateEndpoint(name_)) {}
+      endpoint_(fabric.CreateEndpoint(name_)) {
+  if (config_.volatile_staging) {
+    media_.resize(memory_.size());
+    endpoint_.InstallStagingHooks(
+        [this](std::uint64_t nva, std::uint64_t len) {
+          return StageWrite(nva, len);
+        },
+        [this](std::uint64_t ticket) {
+          // A generation bump between staging and persist means this
+          // op's bytes may be among the lost — refuse the durability
+          // ack. Ticket 0 = the delivery event never ran (nothing
+          // landed), nothing to guarantee.
+          const bool intact = ticket == 0 || ticket == staging_generation_;
+          DrainStaged();
+          return intact;
+        });
+  }
+}
+
+std::uint64_t Npmu::StageWrite(std::uint64_t nva, std::uint64_t len) {
+  if (len != 0) staged_.emplace_back(MemOffset(nva), len);
+  return staging_generation_;
+}
+
+void Npmu::DrainStaged() {
+  for (const auto& [off, len] : staged_) {
+    std::memcpy(media_.data() + off, memory_.data() + off, len);
+  }
+  staged_.clear();
+}
+
+void Npmu::LoseStaged() {
+  if (staged_.empty()) return;
+  staging_losses_++;
+  staging_generation_++;
+  for (const auto& [off, len] : staged_) {
+    std::memcpy(memory_.data() + off, media_.data() + off, len);
+  }
+  staged_.clear();
+}
+
+std::uint64_t Npmu::staged_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [off, len] : staged_) total += len;
+  return total;
+}
 
 Pmp::Pmp(nsk::Cluster& cluster, int cpu_index, std::string name,
          NpmuConfig config)

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/fabric.h"
@@ -30,6 +31,12 @@ inline constexpr std::uint64_t kDataBase = 0x10000;
 
 struct NpmuConfig {
   std::uint64_t capacity_bytes = 64ull << 20;  // data area size
+  // Model the volatile NIC/PCIe staging buffer of a real device: RDMA
+  // writes land in volatile staging first and only reach persistent
+  // media when the fabric's persist primitive drains them
+  // (common/durability.h). Off by default — the seed's idealized
+  // "landed == durable" device, with zero extra copies or bookkeeping.
+  bool volatile_staging = false;
 };
 
 // Hardware NPMU: a fabric endpoint backed by non-volatile memory. Not a
@@ -51,11 +58,43 @@ class Npmu {
     return memory_.data() + kMetadataBytes;
   }
 
-  // Power loss: an NPMU's memory is durable — contents survive. Only
-  // in-flight transfers are lost (handled at the fabric layer). The ATT,
-  // however, is volatile NIC state and must be reprogrammed by the PMM
-  // during recovery.
-  void PowerFail() { endpoint_.UnmapAll(); }
+  // Power loss: an NPMU's media is durable — drained contents survive.
+  // The ATT is volatile NIC state and must be reprogrammed by the PMM
+  // during recovery; with the staging model on, anything still parked in
+  // the NIC/PCIe staging buffer is lost too.
+  void PowerFail() {
+    endpoint_.UnmapAll();
+    if (config_.volatile_staging) LoseStaged();
+  }
+
+  // ---- volatile staging buffer (durability ablation) ----
+  //
+  // With volatile_staging on, `memory_` is the NIC-visible view (what
+  // RDMA reads and landed writes see) and `media_` is what actually
+  // survives a crash. Fabric-landed bytes are recorded as staged
+  // intervals; DrainStaged copies them to media (the persist primitive),
+  // LoseStaged reverts the visible view to media (the crash). Writes
+  // that never went through the fabric (PMM-local memcpy) bypass staging
+  // and are never at risk, matching real hardware where only the remote
+  // path crosses the volatile buffer.
+
+  // Records [nva, nva+len) as staged; returns the staging generation the
+  // caller can later hand to the persist hook to detect an intervening
+  // loss. Installed as the endpoint's stage hook.
+  std::uint64_t StageWrite(std::uint64_t nva, std::uint64_t len);
+  // Drains every staged interval to media (idempotent).
+  void DrainStaged();
+  // Crash flavor "volatile buffer lost": staged-but-undrained intervals
+  // revert to their media contents and the staging generation bumps so
+  // in-flight persists fail instead of falsely acking.
+  void LoseStaged();
+  [[nodiscard]] std::uint64_t staged_bytes() const noexcept;
+  [[nodiscard]] bool volatile_staging() const noexcept {
+    return config_.volatile_staging;
+  }
+  [[nodiscard]] std::uint64_t staging_losses() const noexcept {
+    return staging_losses_;
+  }
 
   // Device failure / replacement.
   void Fail() { endpoint_.SetDown(true); }
@@ -69,11 +108,22 @@ class Npmu {
   void NoteWrite(std::uint64_t len) noexcept { bytes_persisted_ += len; }
 
  private:
+  // Device-memory offset of an NVA (metadata area is NVA-identity, data
+  // area sits behind kDataBase).
+  [[nodiscard]] static std::uint64_t MemOffset(std::uint64_t nva) noexcept {
+    return nva < kMetadataBytes ? nva : kMetadataBytes + (nva - kDataBase);
+  }
+
   std::string name_;
   NpmuConfig config_;
   std::vector<std::byte> memory_;
   net::Endpoint& endpoint_;
   std::uint64_t bytes_persisted_ = 0;
+  // Staging model state (empty/idle unless config_.volatile_staging).
+  std::vector<std::byte> media_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> staged_;  // offset,len
+  std::uint64_t staging_generation_ = 1;
+  std::uint64_t staging_losses_ = 0;
 };
 
 // PMP — Persistent Memory Process: the software prototype. Same wire

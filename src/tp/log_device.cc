@@ -148,6 +148,7 @@ Task<Status> PmLogDevice::Open(nsk::NskProcess& host) {
                                        kDataBase + config_.region_bytes);
   if (!region.ok()) co_return region.status();
   region_ = std::move(*region);
+  region_->set_durability(config_.durability);
   pipeline_.emplace(*region_,
                     pm::PmWritePipeline::Config{config_.pipeline_depth,
                                                 /*coalesce_adjacent=*/true,
@@ -283,6 +284,7 @@ Task<Status> ShardedPmLogDevice::Open(nsk::NskProcess& host) {
     if (!region.ok()) co_return region.status();
     Stream st;
     st.region = std::move(*region);
+    st.region->set_durability(config_.durability);
     // Restore the stream's committed state from its control block — this
     // is what lets a promoted backup keep appending without a scan.
     auto cb = co_await st.region->Read(0, kStreamDataBase);

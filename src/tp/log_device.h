@@ -24,9 +24,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/durability.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "nsk/process.h"
@@ -130,6 +132,9 @@ struct PmLogConfig {
   bool piggyback_control = true;
   // Queue depth of the write pipeline used on the non-piggybacked path.
   std::size_t pipeline_depth = 8;
+  // Per-log override of the fabric-wide remote-durability mode
+  // (common/durability.h); nullopt = FabricConfig::durability_mode.
+  std::optional<DurabilityMode> durability;
 };
 
 class PmLogDevice final : public LogDevice {
@@ -180,6 +185,9 @@ struct ShardedPmLogConfig {
   std::uint64_t region_bytes = 48ull << 20;  // per stream
   bool piggyback_control = true;
   std::size_t pipeline_depth = 8;
+  // Per-log override of the fabric-wide remote-durability mode, applied
+  // to every stream region (nullopt = FabricConfig::durability_mode).
+  std::optional<DurabilityMode> durability;
 };
 
 // The ADP's multi-log mode (scale-out): the logical audit log is striped

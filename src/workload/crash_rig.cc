@@ -102,11 +102,18 @@ struct CrashRig {
     return c;
   }
 
-  explicit CrashRig(std::uint64_t seed, CrashMode m)
+  static pm::NpmuConfig MakeNpmuConfig(const DurabilityOptions& dur) {
+    pm::NpmuConfig c;
+    c.volatile_staging = dur.volatile_staging;
+    return c;
+  }
+
+  CrashRig(std::uint64_t seed, CrashMode m, const DurabilityOptions& dur)
       : sim(seed), cluster(sim, MakeConfig()),
-        npmu_a(cluster.fabric(), "npmu-a"),
-        npmu_b(cluster.fabric(), "npmu-b"),
+        npmu_a(cluster.fabric(), "npmu-a", MakeNpmuConfig(dur)),
+        npmu_b(cluster.fabric(), "npmu-b", MakeNpmuConfig(dur)),
         mode(m) {
+    cluster.fabric().set_durability_mode(dur.mode);
     pmm_p = &sim.AdoptStopped<pm::PmManager>(cluster, 0, "$PMM", "$PMM-P",
                                              pm::PmDevice(npmu_a),
                                              pm::PmDevice(npmu_b), "$PM1");
@@ -260,6 +267,10 @@ struct CrashRig {
         break;
       }
       case CrashMode::kPowerLoss:
+      case CrashMode::kVolatileBufferLoss:
+        // Same event; with the staging model armed (kVolatileBufferLoss),
+        // PowerFail additionally drops everything still parked in the
+        // NIC/PCIe staging buffers — only drained bytes survive.
         pmm_p->Kill();
         pmm_b->Kill();
         npmu_a.PowerFail();
@@ -507,11 +518,15 @@ const char* CrashModeName(CrashMode mode) noexcept {
     case CrashMode::kDualDeviceOutage: return "dual-device-outage";
     case CrashMode::kFailPrimaryDevice: return "fail-primary-device";
     case CrashMode::kPowerLoss: return "power-loss";
+    case CrashMode::kVolatileBufferLoss: return "volatile-buffer-loss";
   }
   return "?";
 }
 
 const std::vector<CrashMode>& SweepableCrashModes() {
+  // kVolatileBufferLoss is deliberately absent: it only makes sense with
+  // the staging model armed and is swept separately by the
+  // durability-mode ablation (bench/crash_sweep.cc).
   static const std::vector<CrashMode> kModes = {
       CrashMode::kHaltPrimaryPmm, CrashMode::kDualDeviceOutage,
       CrashMode::kFailPrimaryDevice, CrashMode::kPowerLoss};
@@ -520,8 +535,9 @@ const std::vector<CrashMode>& SweepableCrashModes() {
 
 CrashRunResult RunCrashScenario(std::uint64_t seed, CrashMode mode,
                                 std::optional<std::size_t> crash_index,
-                                bool capture_trace) {
-  CrashRig rig(seed, mode);
+                                bool capture_trace,
+                                DurabilityOptions durability) {
+  CrashRig rig(seed, mode, durability);
   return rig.Run(crash_index, capture_trace);
 }
 

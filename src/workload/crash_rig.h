@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/durability.h"
 #include "sim/fault_plan.h"
 
 namespace ods::workload {
@@ -40,6 +41,11 @@ enum class CrashMode {
   kFailPrimaryDevice,  // volume-primary NPMU dies, returns repaired; the
                        // PMM primary is then halted (double failure)
   kPowerLoss,          // PMMs die, NPMU ATTs wiped; memory survives
+  kVolatileBufferLoss, // power loss with the staging model armed: bytes
+                       // still parked in the NIC/PCIe staging buffers are
+                       // lost; only drained (persisted) bytes survive.
+                       // Only meaningful with DurabilityOptions::
+                       // volatile_staging — the durability-mode ablation.
 };
 
 [[nodiscard]] const char* CrashModeName(CrashMode mode) noexcept;
@@ -63,12 +69,22 @@ struct CrashRunResult {
   std::string trace_json;
 };
 
+// Durability-ablation knobs for a run: which persist primitive every
+// fabric write uses, and whether the NPMUs model the volatile staging
+// buffer that primitive exists to drain. The defaults reproduce the
+// seed rig exactly.
+struct DurabilityOptions {
+  ods::DurabilityMode mode = ods::DurabilityMode::kPostedWriteOnly;
+  bool volatile_staging = false;
+};
+
 // Runs the scenario once. `crash_index == nullopt` (or mode kNone) is a
 // record pass. The simulation is deterministic: the same (seed, mode,
-// crash_index) always produces the same result — including, with
-// `capture_trace`, the exported trace bytes.
+// crash_index, durability) always produces the same result — including,
+// with `capture_trace`, the exported trace bytes.
 CrashRunResult RunCrashScenario(std::uint64_t seed, CrashMode mode,
                                 std::optional<std::size_t> crash_index,
-                                bool capture_trace = false);
+                                bool capture_trace = false,
+                                DurabilityOptions durability = {});
 
 }  // namespace ods::workload

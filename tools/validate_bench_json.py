@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate the JSON artifacts the bench binaries emit.
+
+Consolidates the CI's bench-JSON checks in one place (they used to live
+as heredoc python snippets inside .github/workflows/ci.yml):
+
+  core        BENCH_/TRACE_ files parse; micro_latency and boxcar_sweep
+              carry bench+metrics; traces are non-empty.
+  scaleout    BENCH_scaleout.json schema + shard-speedup gate against the
+              checked-in baseline (bench/scaleout_baseline.json).
+  durability  BENCH_durability_modes.json schema: all four durability
+              modes x boxcar sizes, persist-op accounting consistent with
+              each mode (posted-write-only performs none), and a
+              cheapest_correct verdict that names a correct mode.
+  crash       BENCH_crash_sweep.json: the run passed, and any durability
+              sweep it contains flagged the expected-violation mode
+              (posted-write-only must NOT be silently green) while the
+              correct modes swept clean.
+
+Usage: validate_bench_json.py [--bench-dir DIR] [--baseline-dir DIR] CHECK...
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+MODES = ("posted-write-only", "native-flush", "write-raw", "write-ack")
+CORRECT_MODES = tuple(m for m in MODES if m != "posted-write-only")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_core(bench_dir, _baseline_dir):
+    files = sorted(
+        glob.glob(os.path.join(bench_dir, "BENCH_*.json"))
+        + glob.glob(os.path.join(bench_dir, "TRACE_*.json"))
+    )
+    assert len(files) >= 4, f"expected bench+trace JSON in {bench_dir}, got {files}"
+    docs = {}
+    for path in files:
+        docs[os.path.basename(path)] = load(path)
+        print(f"{path} parses")
+    for name in ("BENCH_micro_latency.json", "BENCH_boxcar_sweep.json"):
+        doc = docs[name]
+        assert "bench" in doc and "metrics" in doc, f"{name}: missing bench/metrics keys"
+    for name in ("TRACE_micro_latency.json", "TRACE_boxcar_sweep.json"):
+        assert docs[name]["traceEvents"], f"{name}: empty trace"
+
+
+def check_scaleout(bench_dir, baseline_dir):
+    # Simulated-time results are deterministic per build, so the gate
+    # compares against a checked-in baseline of the same small matrix
+    # (1/4 shards x 4/1000 drivers). The 4-shard/1-shard committed-
+    # throughput ratio at the max fleet may not fall more than 30%
+    # below the baseline's ratio; schema drift fails outright.
+    cur = load(os.path.join(bench_dir, "BENCH_scaleout.json"))
+    base = load(os.path.join(baseline_dir, "scaleout_baseline.json"))
+    row_keys = (
+        "shards", "drivers", "arrivals", "committed_txns", "aborted_txns",
+        "txn_per_sec", "mean_ms", "p99_ms", "p999_ms",
+    )
+    for key in ("rows", "max_fleet_drivers", "speedup_4s_over_1s", "knee_shards"):
+        assert key in cur, f"BENCH_scaleout.json: missing {key}"
+    for row in cur["rows"]:
+        missing = [k for k in row_keys if k not in row]
+        assert not missing, f"scaleout row missing {missing}: {row}"
+
+    def cell(doc, shards):
+        fleet = doc["max_fleet_drivers"]
+        [row] = [r for r in doc["rows"] if r["shards"] == shards and r["drivers"] == fleet]
+        return row["txn_per_sec"]
+
+    got = cell(cur, 4) / cell(cur, 1)
+    want = cell(base, 4) / cell(base, 1)
+    floor = want * 0.7
+    print(
+        f"4-shard/1-shard committed txn/s ratio: {got:.2f}x "
+        f"(baseline {want:.2f}x, floor {floor:.2f}x)"
+    )
+    assert got >= floor, "4-shard scale-out regressed vs baseline"
+    # The unsharded configuration must not slow down either: the small
+    # fleet (closed-load-level) cell is shard-independent.
+    small_1s = [
+        r for r in cur["rows"]
+        if r["shards"] == 1 and r["drivers"] != cur["max_fleet_drivers"]
+    ]
+    for r in small_1s:
+        assert r["committed_txns"] == r["arrivals"], f"1-shard small fleet shed load: {r}"
+
+
+def check_durability(bench_dir, _baseline_dir):
+    doc = load(os.path.join(bench_dir, "BENCH_durability_modes.json"))
+    assert "rows" in doc, "BENCH_durability_modes.json: missing rows"
+    row_keys = (
+        "mode", "boxcar", "p50_us", "p99_us", "mean_us", "txn_per_sec",
+        "committed", "fabric_bytes", "persist_ops", "persist_bytes",
+        "fabric_bytes_per_record",
+    )
+    seen = set()
+    for row in doc["rows"]:
+        missing = [k for k in row_keys if k not in row]
+        assert not missing, f"durability row missing {missing}: {row}"
+        assert row["mode"] in MODES, f"unknown mode: {row['mode']}"
+        seen.add((row["mode"], row["boxcar"]))
+        if row["mode"] == "posted-write-only":
+            assert row["persist_ops"] == 0, f"posted-write-only performed persists: {row}"
+        else:
+            assert row["persist_ops"] > 0, f"correct mode performed no persists: {row}"
+            assert row["committed"] > 0, f"correct mode committed nothing: {row}"
+    boxcars = sorted({k for _, k in seen})
+    assert boxcars, "durability rows are empty"
+    for mode in MODES:
+        for k in boxcars:
+            assert (mode, k) in seen, f"missing durability cell: {mode} boxcar {k}"
+    assert "cheapest_correct" in doc, "missing cheapest_correct verdict"
+    for k in boxcars:
+        winner = doc["cheapest_correct"].get(str(k))
+        assert winner in CORRECT_MODES, f"cheapest_correct[{k}] = {winner!r} is not a correct mode"
+        print(f"boxcar {k}: cheapest correct mode {winner}")
+    print(f"durability matrix complete: {len(MODES)} modes x boxcars {boxcars}")
+
+
+def check_crash(bench_dir, _baseline_dir):
+    doc = load(os.path.join(bench_dir, "BENCH_crash_sweep.json"))
+    assert doc.get("ok") == 1, "crash sweep reported failure"
+    swept = []
+    for mode in MODES:
+        runs = doc.get(f"durability_{mode}_runs")
+        if runs is None:
+            continue  # this leg did not sweep this mode
+        violations = doc[f"durability_{mode}_violations"]
+        expected = doc[f"durability_{mode}_expected_violation"]
+        assert runs > 0, f"{mode}: durability sweep ran zero sites"
+        if expected:
+            # The broken mode has to be FLAGGED; a silently-green
+            # posted-write-only sweep means the harness lost its teeth.
+            assert violations > 0, f"{mode}: expected violations, swept green"
+        else:
+            assert violations == 0, f"{mode}: correct mode violated invariants"
+        swept.append(mode)
+        print(f"{mode}: {runs} runs, {violations} violations (expected_violation={expected})")
+    assert swept, "crash sweep JSON contains no durability-mode results"
+
+
+CHECKS = {
+    "core": check_core,
+    "scaleout": check_scaleout,
+    "durability": check_durability,
+    "crash": check_crash,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench-dir", default="build/bench",
+                    help="directory holding the emitted BENCH_/TRACE_ JSON")
+    ap.add_argument("--baseline-dir", default="bench",
+                    help="directory holding checked-in baselines")
+    ap.add_argument("checks", nargs="+", choices=sorted(CHECKS))
+    args = ap.parse_args()
+    for name in args.checks:
+        print(f"--- {name} ---")
+        CHECKS[name](args.bench_dir, args.baseline_dir)
+    print("all checks passed:", ", ".join(args.checks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
