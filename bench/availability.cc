@@ -35,9 +35,12 @@ struct Outcome {
   bool all_committed_readable = false;
 };
 
-Outcome KillUnderLoad(const char* service, const std::function<void(workload::Rig&)>& kill) {
+Outcome KillUnderLoad(const char* service,
+                      const std::function<void(workload::Rig&)>& kill,
+                      bool offload = false) {
   sim::Simulation sim(41);
   auto cfg = PaperRig(/*pm=*/true);
+  cfg.pm_offload = offload;
   workload::Rig rig(sim, cfg);
   sim.RunFor(sim::Seconds(1));
 
@@ -135,5 +138,18 @@ int main() {
   PrintRule(74);
   std::printf("paper: \"a backup process takes over from its primary in a\n"
               "second or less\" with \"no loss of committed data\".\n");
+
+  // Same kills with the active-NPMU command path armed: takeover and
+  // zero-loss guarantees must hold when recovery runs device-side.
+  std::printf("\nsame, with near-data offload enabled (active NPMU commands)\n\n");
+  std::printf("%-28s %14s %14s %12s\n", "killed service", "takeover (ms)",
+              "app pause(ms)", "data loss?");
+  PrintRule(74);
+  for (const Case& c : cases) {
+    const Outcome o = KillUnderLoad(c.service, c.kill, /*offload=*/true);
+    std::printf("%-28s %14.0f %14.0f %12s\n", c.label, o.name_outage_ms,
+                o.app_pause_ms, o.all_committed_readable ? "none" : "LOST");
+  }
+  PrintRule(74);
   return 0;
 }

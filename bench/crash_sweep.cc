@@ -14,11 +14,17 @@
 // (a silently-green broken mode means the harness lost its teeth) —
 // while the three correct persist primitives must survive every site.
 //
+// The offload sweep re-runs the four classic modes with the NPMU
+// command engines armed and the scenario's offload leg appended
+// (VerifyScan / ShipReplay / mirrored CompactTo): near-data commands
+// must never weaken I1-I4, so zero violations are expected.
+//
 // ODS_CRASH_SWEEP_STRIDE=<n> subsamples (1 = exhaustive, the default).
 // ODS_DURABILITY_MODE selects the ablation: "all" (default) runs the
-// base sweep plus every mode, "off" runs the base sweep only, and a
-// mode name (posted-write-only|write-raw|write-ack|native-flush) runs
-// just that mode's volatile-buffer-loss sweep (the CI matrix legs).
+// base sweep plus the offload sweep plus every mode, "off" runs the
+// base sweep only, "offload" runs just the offload sweep, and a mode
+// name (posted-write-only|write-raw|write-ack|native-flush) runs just
+// that mode's volatile-buffer-loss sweep (the CI matrix legs).
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
@@ -172,6 +178,71 @@ bool RunDurabilitySweep(DurabilityMode mode, int stride,
   return true;
 }
 
+// Offload sweep: the command engines armed and the scenario extended
+// with the VerifyScan / ShipReplay / CompactTo leg, swept over all four
+// classic crash modes at every site of its own (longer) record trace.
+// Device commands must never weaken I1-I4, and the leg's own acked-
+// command contract must hold: zero violations expected.
+bool RunOffloadSweep(int stride, bench::BenchJson& json) {
+  workload::DurabilityOptions dur;
+  dur.offload = true;
+  workload::CrashRunResult record = workload::RunCrashScenario(
+      kSeed, workload::CrashMode::kNone, std::nullopt, false, dur);
+  if (!record.verified || !record.violations.empty()) {
+    std::printf("offload record pass FAILED:\n");
+    for (const auto& v : record.violations) std::printf("  %s\n", v.c_str());
+    return false;
+  }
+  std::printf("\noffload sweep: %zu sites enumerated, stride %d\n",
+              record.trace.size(), stride);
+  json.Set("offload_sites", static_cast<double>(record.trace.size()));
+  bench::PrintRule();
+  std::printf("%-22s %10s %10s %12s\n", "crash mode", "runs", "violations",
+              "regions/run");
+  bench::PrintRule();
+  std::size_t total_runs = 0;
+  std::size_t total_violations = 0;
+  for (workload::CrashMode mode : workload::SweepableCrashModes()) {
+    std::size_t runs = 0;
+    std::size_t violations = 0;
+    std::size_t regions = 0;
+    for (std::size_t i = 0; i < record.trace.size();
+         i += static_cast<std::size_t>(stride)) {
+      workload::CrashRunResult r =
+          workload::RunCrashScenario(kSeed, mode, i, false, dur);
+      ++runs;
+      regions += r.regions_checked;
+      if (!r.verified) ++violations;
+      violations += r.violations.size();
+      for (const auto& v : r.violations) {
+        std::printf("  offload/%s @ site %zu (%s): %s\n", CrashModeName(mode),
+                    i, record.trace[i].ToString().c_str(), v.c_str());
+      }
+      if (!r.violations.empty() && !r.trace_json.empty()) {
+        DumpTrace(std::string("offload_") + CrashModeName(mode), i,
+                  r.trace_json);
+      }
+    }
+    std::printf("%-22s %10zu %10zu %12.1f\n", CrashModeName(mode), runs,
+                violations,
+                runs != 0 ? static_cast<double>(regions) /
+                                static_cast<double>(runs)
+                          : 0.0);
+    json.Set(std::string("offload_") + CrashModeName(mode) + "_runs",
+             static_cast<double>(runs));
+    json.Set(std::string("offload_") + CrashModeName(mode) + "_violations",
+             static_cast<double>(violations));
+    total_runs += runs;
+    total_violations += violations;
+  }
+  bench::PrintRule();
+  std::printf("offload: %zu crash runs, %zu invariant violations\n",
+              total_runs, total_violations);
+  json.Set("offload_runs", static_cast<double>(total_runs));
+  json.Set("offload_violations", static_cast<double>(total_violations));
+  return total_violations == 0;
+}
+
 int Run() {
   const int stride = Stride();
   const char* mode_env = std::getenv("ODS_DURABILITY_MODE");
@@ -200,7 +271,11 @@ int Run() {
     ok = ok && base_violations == 0;
   }
 
-  if (mode_sel != "off") {
+  if (mode_sel == "all" || mode_sel == "offload") {
+    ok = RunOffloadSweep(stride, json) && ok;
+  }
+
+  if (mode_sel != "off" && mode_sel != "offload") {
     std::printf("\ndurability ablation: volatile-buffer-loss sweep, "
                 "stride %d\n",
                 stride);

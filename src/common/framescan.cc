@@ -1,0 +1,58 @@
+#include "common/framescan.h"
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+
+namespace ods {
+
+void FrameScanStep(std::span<const std::byte> image, FrameScanState& state) {
+  if (state.hard_stop) return;
+  std::uint64_t pos = state.durable_tail;
+  while (pos + 4 <= image.size()) {
+    Deserializer d(image.subspan(pos));
+    std::uint32_t len = 0;
+    (void)d.GetU32(len);
+    if (len == 0) {
+      // End-of-log sentinel: audit payloads are never empty (asserted
+      // at append time in tp/audit.cc), so a zero length word is the
+      // zeroed media past the last append.
+      state.hard_stop = true;
+      return;
+    }
+    if (pos + 4 + len + 4 > image.size()) return;  // needs more data
+    const auto payload = image.subspan(pos + 4, len);
+    Deserializer t(image.subspan(pos + 4 + len, 4));
+    std::uint32_t stored = 0;
+    (void)t.GetU32(stored);
+    if (Crc32c(payload) != stored) {
+      state.hard_stop = true;  // torn or corrupt frame: definitive end
+      return;
+    }
+    state.last_frame_off = pos;
+    pos += 4 + len + 4;
+    state.durable_tail = pos;
+    ++state.frame_count;
+  }
+}
+
+std::uint64_t FrameScanPrefix(std::span<const std::byte> image) {
+  FrameScanState state;
+  FrameScanStep(image, state);
+  return state.durable_tail;
+}
+
+bool PeekFramedRecord(std::span<const std::byte> image,
+                      std::uint64_t frame_off, FramedRecordHeader& out) {
+  if (frame_off + 4 > image.size()) return false;
+  Deserializer d(image.subspan(frame_off));
+  std::uint32_t len = 0;
+  if (!d.GetU32(len) || len == 0 ||
+      frame_off + 4 + len + 4 > image.size()) {
+    return false;
+  }
+  Deserializer p(image.subspan(frame_off + 4, len));
+  return p.GetU64(out.lsn) && p.GetU64(out.txn) && p.GetU32(out.type) &&
+         p.GetU32(out.file_id) && p.GetU64(out.key);
+}
+
+}  // namespace ods

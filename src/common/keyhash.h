@@ -1,0 +1,19 @@
+// Key-to-partition hashing shared by the catalog router (db/catalog.h)
+// and the device-side ShipReplay filter (pm/offload.cc). Both sides must
+// agree exactly: the NPMU ships a DP2 only the records whose keys the
+// catalog would route to it.
+#pragma once
+
+#include <cstdint>
+
+namespace ods {
+
+// Multiplicative hash so sequential keys spread across partitions.
+inline constexpr std::uint64_t kKeyHashMultiplier = 0x9E3779B97F4A7C15ull;
+
+[[nodiscard]] inline std::uint64_t KeyPartition(std::uint64_t key,
+                                                std::uint64_t nparts) noexcept {
+  return nparts == 0 ? 0 : (key * kKeyHashMultiplier) % nparts;
+}
+
+}  // namespace ods

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/keyhash.h"
+
 namespace ods::db {
 
 struct PartitionRoute {
@@ -36,13 +38,13 @@ class Catalog {
         .at(static_cast<std::size_t>(partition)) = std::move(route);
   }
 
-  // Key-hash partitioning within a file.
+  // Key-hash partitioning within a file. The hash lives in
+  // common/keyhash.h so the device-side replay filter (pm/offload.cc)
+  // routes identically.
   [[nodiscard]] const PartitionRoute& Route(std::uint32_t file,
                                             std::uint64_t key) const {
     const auto& parts = routes_.at(file);
-    // Multiplicative hash so sequential keys spread across partitions.
-    const std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
-    return parts[h % parts.size()];
+    return parts[KeyPartition(key, parts.size())];
   }
 
   // Canonical service names used by the rig.

@@ -429,6 +429,109 @@ sim::Future<RdmaResult> Endpoint::StartRead(EndpointId target,
   return fut;
 }
 
+sim::Future<RdmaResult> Endpoint::StartCommand(EndpointId target,
+                                               std::uint32_t opcode,
+                                               std::vector<std::byte> request,
+                                               std::uint64_t op_id) {
+  sim::Promise<RdmaResult> done(fabric_.sim());
+  auto fut = done.GetFuture();
+  auto& sim = fabric_.sim();
+  const FabricConfig& cfg = fabric_.config();
+
+  auto fail_after = [&](SimDuration d, Status s) {
+    sim.After(d, [done, s = std::move(s)]() mutable {
+      done.Set(RdmaResult{std::move(s), {}});
+    });
+  };
+
+  if (fabric_.FirstHealthyRail() < 0) {
+    fail_after(cfg.software_latency,
+               Status(ErrorCode::kUnavailable, "all fabric rails down"));
+    return fut;
+  }
+  Endpoint* tgt = fabric_.Find(target);
+  if (tgt == nullptr) {
+    fail_after(cfg.software_latency,
+               Status(ErrorCode::kInvalidArgument, "unknown target endpoint"));
+    return fut;
+  }
+  const SimDuration round_trip =
+      cfg.software_latency + cfg.packet_latency * 2 + cfg.ack_latency;
+  if (tgt->down()) {
+    fail_after(round_trip,
+               Status(ErrorCode::kUnavailable, "target endpoint down"));
+    return fut;
+  }
+  // The request queues on the target's ingress link like any transfer.
+  const std::uint64_t req_bytes = request.size();
+  const SimTime now = sim.Now();
+  const SimTime link_free = std::max(now, tgt->link_busy_until_);
+  tgt->link_busy_until_ = link_free + fabric_.TransferTime(req_bytes);
+  const SimDuration request_leg = (link_free - now) + cfg.software_latency +
+                                  fabric_.TransferTime(req_bytes);
+  const std::uint64_t req_packets = std::max<std::uint64_t>(
+      1, (req_bytes + cfg.mtu_bytes - 1) / cfg.mtu_bytes);
+  fabric_.packets_sent_ += req_packets;
+  const int rail = fabric_.PickRail();
+  if (Counter* rc = rail >= 0
+                        ? fabric_.rail_packets_[static_cast<std::size_t>(rail)]
+                        : nullptr) {
+    rc->Add(req_packets);
+  }
+  const std::int64_t issued_ns = now.ns;
+  sim.After(request_leg, [this, done, tgt, target, opcode, op_id, rail,
+                          issued_ns, req_bytes,
+                          request = std::move(request)]() mutable {
+    auto& s = fabric_.sim();
+    const FabricConfig& fc = fabric_.config();
+    CommandResult r;
+    if (!tgt->command_hook_ || tgt->down()) {
+      r.status = Status(ErrorCode::kFailedPrecondition,
+                        "target device does not execute commands");
+    } else {
+      // The device executes against its state at request arrival (the
+      // same snapshot semantics as a read).
+      r = tgt->command_hook_(opcode, request);
+    }
+    // Response rides back once the device finishes; it occupies the
+    // target's egress from that moment.
+    const std::uint64_t resp_bytes = r.response.size();
+    const SimTime done_at = s.Now() + r.device_time;
+    const SimTime egress_free = std::max(done_at, tgt->link_busy_until_);
+    tgt->link_busy_until_ = egress_free + fabric_.TransferTime(resp_bytes);
+    const SimDuration tail = (egress_free - s.Now()) +
+                             fabric_.TransferTime(resp_bytes) +
+                             fc.ack_latency;
+    const std::uint64_t resp_packets = std::max<std::uint64_t>(
+        1, (resp_bytes + fc.mtu_bytes - 1) / fc.mtu_bytes);
+    fabric_.packets_sent_ += resp_packets;
+    if (Counter* rc =
+            rail >= 0 ? fabric_.rail_packets_[static_cast<std::size_t>(rail)]
+                      : nullptr) {
+      rc->Add(resp_packets);
+    }
+    fabric_.NoteCommand(req_bytes + resp_bytes);
+    if (Tracer* tr = s.tracer(); tr != nullptr && tr->enabled()) {
+      tr->Complete(TraceLane::kFabric, "rdma.cmd", issued_ns,
+                   (s.Now() + tail).ns, op_id, "opcode",
+                   static_cast<std::uint64_t>(opcode), "bytes",
+                   req_bytes + resp_bytes);
+    }
+    s.After(tail, [&sim = s, done, target, opcode, resp_bytes,
+                   r = std::move(r)]() mutable {
+      // Crash-injection site at the initiator-visible completion of a
+      // device command — mirrors write-ack:epN for device mutations
+      // (CompactTo). Only offload runs reach it, so passive traces are
+      // untouched.
+      sim::FaultPoint(sim, sim::FaultSiteKind::kCustom,
+                      "cmd-ack:ep" + std::to_string(target.value),
+                      {static_cast<std::uint64_t>(opcode), resp_bytes});
+      done.Set(RdmaResult{std::move(r.status), std::move(r.response)});
+    });
+  });
+  return fut;
+}
+
 sim::Task<Status> Endpoint::Write(sim::Process& proc, EndpointId target,
                                   std::uint64_t nva,
                                   std::vector<std::byte> data,
@@ -461,6 +564,22 @@ sim::Task<RdmaResult> Endpoint::Read(sim::Process& proc, EndpointId target,
   co_return last;
 }
 
+sim::Task<RdmaResult> Endpoint::Command(sim::Process& proc, EndpointId target,
+                                        std::uint32_t opcode,
+                                        std::vector<std::byte> request,
+                                        std::uint64_t op_id) {
+  RdmaResult last;
+  for (int attempt = 0; attempt < std::max(1, fabric_.config().num_rails);
+       ++attempt) {
+    last = co_await StartCommand(target, opcode, request, op_id).Wait(proc);
+    if (last.status.ok() || last.status.code() != ErrorCode::kUnavailable) {
+      co_return last;
+    }
+    if (fabric_.FirstHealthyRail() < 0) co_return last;
+  }
+  co_return last;
+}
+
 void Endpoint::PostMessage(EndpointId target, std::uint32_t kind,
                            std::vector<std::byte> payload) {
   Endpoint* tgt = fabric_.Find(target);
@@ -470,6 +589,7 @@ void Endpoint::PostMessage(EndpointId target, std::uint32_t kind,
   const FabricConfig& cfg = fabric_.config();
   const SimDuration d = cfg.software_latency + cfg.packet_latency +
                         fabric_.TransferTime(payload.size());
+  fabric_.message_bytes_ += payload.size();
   auto& sim = fabric_.sim();
   sim.After(d, [tgt, pkt = Packet{id_, kind, std::move(payload)}]() mutable {
     if (!tgt->down()) tgt->Incoming().Send(std::move(pkt));
@@ -499,6 +619,19 @@ Counter& Fabric::PersistCounter(DurabilityMode mode) {
                                    DurabilityModeName(mode));
   }
   return *c;
+}
+
+void Fabric::NoteCommand(std::uint64_t bytes) {
+  command_ops_ += 1;
+  command_bytes_ += bytes;
+  // Lazily registered so passive runs (which never issue device
+  // commands) keep the seed's metrics export byte-identical.
+  if (cmd_ops_counter_ == nullptr) {
+    cmd_ops_counter_ = &sim_.metrics().GetCounter("fabric.cmd.ops");
+    cmd_bytes_counter_ = &sim_.metrics().GetCounter("fabric.cmd.bytes");
+  }
+  cmd_ops_counter_->Increment();
+  cmd_bytes_counter_->Add(bytes);
 }
 
 Endpoint& Fabric::CreateEndpoint(std::string name) {

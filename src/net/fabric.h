@@ -145,6 +145,28 @@ class Endpoint {
     return static_cast<bool>(stage_hook_);
   }
 
+  // ---- target side: device command execution (active-NPMU offload) ----
+  //
+  // An ACTIVE device (NearPM/MCAS-style) installs a hook that executes
+  // small commands against its own memory: the initiator ships a request
+  // (VerifyScan, CompactTo, ShipReplay...), the device runs it near the
+  // data and streams back only the result. The hook returns the response
+  // plus the modeled on-device execution time; the fabric adds wire and
+  // software latency around it. A device with no hook installed (the
+  // paper's passive NPMU, the default) answers kFailedPrecondition —
+  // callers fall back to the host-side path.
+  struct CommandResult {
+    Status status;
+    std::vector<std::byte> response;
+    sim::SimDuration device_time{0};  // modeled near-data execution time
+  };
+  using CommandHook = std::function<CommandResult(
+      std::uint32_t opcode, std::span<const std::byte> request)>;
+  void InstallCommandHook(CommandHook hook) { command_hook_ = std::move(hook); }
+  [[nodiscard]] bool has_command_hook() const noexcept {
+    return static_cast<bool>(command_hook_);
+  }
+
   // ---- initiator side: host-initiated RDMA ----
 
   // Begins an RDMA write of `data` to `target`'s address space at `nva`.
@@ -188,6 +210,19 @@ class Endpoint {
                                     std::uint64_t len,
                                     std::uint64_t op_id = 0);
 
+  // Ships a device command to `target` and resolves with its response.
+  // Timing: software latency + request wire time, then the device
+  // executes the command at request arrival (hook runs against the
+  // device's state at that instant, like a read's memory snapshot), then
+  // response wire time + ack. Request and response queue on the target's
+  // ingress/egress link like any transfer, so concurrent commands to one
+  // device serialize on the wire. kFailedPrecondition if the target has
+  // no hook installed; command packets are CRC-protected at the device
+  // protocol layer and skip the per-packet corruption model.
+  sim::Future<RdmaResult> StartCommand(EndpointId target, std::uint32_t opcode,
+                                       std::vector<std::byte> request,
+                                       std::uint64_t op_id = 0);
+
   // Synchronous (fiber-blocking) variants with automatic rail failover.
   sim::Task<Status> Write(sim::Process& proc, EndpointId target,
                           std::uint64_t nva, std::vector<std::byte> data,
@@ -196,6 +231,10 @@ class Endpoint {
   sim::Task<RdmaResult> Read(sim::Process& proc, EndpointId target,
                              std::uint64_t nva, std::uint64_t len,
                              std::uint64_t op_id = 0);
+  sim::Task<RdmaResult> Command(sim::Process& proc, EndpointId target,
+                                std::uint32_t opcode,
+                                std::vector<std::byte> request,
+                                std::uint64_t op_id = 0);
 
   // ---- messaging (the NSK message system rides on the fabric) ----
 
@@ -225,6 +264,7 @@ class Endpoint {
   bool down_ = false;
   std::function<std::uint64_t(std::uint64_t, std::uint64_t)> stage_hook_;
   std::function<bool(std::uint64_t)> persist_hook_;
+  CommandHook command_hook_;
   std::vector<AttWindow> windows_;
   sim::Channel<Packet> incoming_;
   // Ingress link occupancy: concurrent transfers to the same endpoint
@@ -317,6 +357,22 @@ class Fabric {
   [[nodiscard]] std::uint64_t persist_failures() const noexcept {
     return persist_failures_;
   }
+  // Device-command accounting (active-NPMU offload): ops posted and
+  // request+response bytes on the wire. Excluded from
+  // bytes_transferred(), which counts RDMA data payload only.
+  [[nodiscard]] std::uint64_t command_ops() const noexcept {
+    return command_ops_;
+  }
+  [[nodiscard]] std::uint64_t command_bytes() const noexcept {
+    return command_bytes_;
+  }
+  // Total message payload bytes posted via Endpoint::PostMessage (the
+  // NSK message system). Messages pay wire latency but were never
+  // counted anywhere — recovery-traffic experiments need them to price
+  // the passive replay path honestly.
+  [[nodiscard]] std::uint64_t message_bytes() const noexcept {
+    return message_bytes_;
+  }
 
   // Duration of `bytes` on the wire (packetized).
   [[nodiscard]] sim::SimDuration TransferTime(std::uint64_t bytes) const;
@@ -331,6 +387,9 @@ class Fabric {
   // Lazily registered "fabric.persist.<mode>" counter (first-use
   // registration keeps default-mode metric exports seed-identical).
   [[nodiscard]] Counter& PersistCounter(DurabilityMode mode);
+  // Lazily registered "fabric.cmd.ops"/"fabric.cmd.bytes" counters —
+  // passive runs post no commands, so their exports stay seed-identical.
+  void NoteCommand(std::uint64_t bytes);
 
   sim::Simulation& sim_;
   FabricConfig config_;
@@ -349,6 +408,9 @@ class Fabric {
   std::uint64_t persist_packets_ = 0;
   std::uint64_t persist_bytes_ = 0;
   std::uint64_t persist_failures_ = 0;
+  std::uint64_t command_ops_ = 0;
+  std::uint64_t command_bytes_ = 0;
+  std::uint64_t message_bytes_ = 0;
   // Cached registry counters, one per rail ("fabric.rail<K>.packets");
   // resolved once at construction so the per-packet path is a pointer
   // bump, not a name lookup.
@@ -356,6 +418,9 @@ class Fabric {
   // Cached per-mode persist-op counters ("fabric.persist.<mode>"),
   // indexed by DurabilityMode; slot 0 (posted) is unused.
   std::array<Counter*, 4> persist_ops_{};
+  // Lazily registered command counters (offload runs only).
+  Counter* cmd_ops_counter_ = nullptr;
+  Counter* cmd_bytes_counter_ = nullptr;
   std::size_t next_rail_ = 0;  // round-robin cursor for PickRail
 };
 

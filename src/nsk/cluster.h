@@ -76,12 +76,25 @@ class Cluster {
   // One-way wire latency for a message of `bytes` payload.
   [[nodiscard]] sim::SimDuration MessageLatency(std::size_t bytes) const;
 
+  // IPC payload accounting: every byte handed to the message transport
+  // (requests, casts and replies). The near-data offload benches use
+  // this to compare how much data crosses the interconnect during
+  // recovery — a whole-log kAdpReadLog reply lands here, not in the
+  // fabric's RDMA counters.
+  void NoteMessageBytes(std::size_t bytes) noexcept {
+    message_bytes_ += bytes;
+  }
+  [[nodiscard]] std::uint64_t message_bytes() const noexcept {
+    return message_bytes_;
+  }
+
  private:
   sim::Simulation& sim_;
   ClusterConfig config_;
   net::Fabric fabric_;
   std::unique_ptr<NameService> names_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
+  std::uint64_t message_bytes_ = 0;
 };
 
 }  // namespace ods::nsk

@@ -12,6 +12,7 @@ void Request::Respond(Status status, std::vector<std::byte> body) {
   auto promise = *std::move(reply);
   reply.reset();
   Reply r{std::move(status), std::move(body)};
+  cluster->NoteMessageBytes(r.payload.size());
   cluster->sim().After(cluster->MessageLatency(r.payload.size()),
                        [promise, r = std::move(r)]() mutable {
                          promise.Set(std::move(r));
@@ -30,6 +31,7 @@ sim::Task<void> NskProcess::Compute(sim::SimDuration work) {
 }
 
 void NskProcess::DeliverLater(Request req) {
+  cluster_.NoteMessageBytes(req.payload.size());
   cluster_.sim().After(cluster_.MessageLatency(req.payload.size()),
                        [this, req = std::move(req)]() mutable {
                          if (alive() && !cpu_.failed()) {

@@ -488,4 +488,47 @@ Task<Result<std::vector<std::byte>>> PmRegion::Read(std::uint64_t offset,
   co_return r.status;
 }
 
+Task<Result<std::vector<std::byte>>> PmRegion::DeviceCommand(
+    std::uint32_t opcode, std::vector<std::byte> request, bool mirrored,
+    std::uint64_t op_id) {
+  if (!valid()) co_return Status(ErrorCode::kFailedPrecondition, "unbound");
+  net::Endpoint& ep = host_->cpu().endpoint();
+  if (!mirrored) {
+    // Query: primary with read-style failover. The region sits at the
+    // same NVA on both mirrors, so the request needs no rewriting.
+    auto r = co_await ep.Command(
+        *host_, net::EndpointId{handle_.primary_endpoint}, opcode, request,
+        op_id);
+    if (r.status.ok()) co_return std::move(r.data);
+    if (r.status.code() == ErrorCode::kUnavailable && handle_.mirror_up) {
+      auto r2 = co_await ep.Command(
+          *host_, net::EndpointId{handle_.mirror_endpoint}, opcode,
+          std::move(request), op_id);
+      if (r2.status.ok()) {
+        (void)co_await ReportDeviceDown(handle_.primary_endpoint);
+        co_return std::move(r2.data);
+      }
+      co_return r2.status;
+    }
+    co_return r.status;
+  }
+  // Mutation: both mirrors must execute it (or the loss of one must be
+  // durably recorded first), exactly like a mirrored write.
+  auto fp = ep.StartCommand(net::EndpointId{handle_.primary_endpoint}, opcode,
+                            request, op_id);
+  std::optional<sim::Future<net::RdmaResult>> fm;
+  if (handle_.mirror_up) {
+    fm = ep.StartCommand(net::EndpointId{handle_.mirror_endpoint}, opcode,
+                         std::move(request), op_id);
+  }
+  net::RdmaResult rp = co_await fp.Wait(*host_);
+  std::optional<Status> sm;
+  if (fm) sm = (co_await fm->Wait(*host_)).status;
+  std::vector<std::byte> response = std::move(rp.data);
+  Status st = co_await ResolveMirrored(std::move(rp.status), std::move(sm),
+                                       /*nbytes=*/0);
+  if (!st.ok()) co_return st;
+  co_return response;
+}
+
 }  // namespace ods::pm

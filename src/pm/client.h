@@ -116,6 +116,17 @@ class PmRegion {
                                                  std::uint64_t len,
                                                  std::uint64_t op_id = 0);
 
+  // Ships a device command (pm/offload.h) to the region's NPMU and
+  // returns its response. `mirrored` = the command mutates device state
+  // (CompactTo): it is issued to both mirrors and succeeds only when
+  // every up-to-date mirror executed it — same durability contract as a
+  // write, including survivor failover. Queries (VerifyScan, ShipReplay)
+  // go to the primary with read-style failover. kFailedPrecondition
+  // means the device is passive — callers fall back to the host path.
+  sim::Task<Result<std::vector<std::byte>>> DeviceCommand(
+      std::uint32_t opcode, std::vector<std::byte> request,
+      bool mirrored = false, std::uint64_t op_id = 0);
+
   // ---- durability (common/durability.h) ----
   //
   // Per-region override of the fabric-wide durability mode; every write

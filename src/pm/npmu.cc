@@ -3,12 +3,28 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pm/offload.h"
+
 namespace ods::pm {
 
 Npmu::Npmu(net::Fabric& fabric, std::string name, NpmuConfig config)
     : name_(std::move(name)), config_(config),
       memory_(kMetadataBytes + config.capacity_bytes),
       endpoint_(fabric.CreateEndpoint(name_)) {
+  if (config_.active_commands) {
+    endpoint_.InstallCommandHook(
+        [this](std::uint32_t opcode, std::span<const std::byte> request) {
+          // Hardware device: the engine survives power loss with the
+          // media, so the hook stays installed for the device's life.
+          std::byte* media = config_.volatile_staging
+                                 ? media_.data() + kMetadataBytes
+                                 : nullptr;
+          return ExecuteDeviceCommand(
+              endpoint_.fabric().sim(), data_memory(), media,
+              config_.capacity_bytes, config_.command_scan_bw_bytes_per_sec,
+              config_.command_setup, opcode, request);
+        });
+  }
   if (config_.volatile_staging) {
     media_.resize(memory_.size());
     endpoint_.InstallStagingHooks(
@@ -68,9 +84,23 @@ sim::Task<void> Pmp::Main() {
     Pmp* self;
     ~Volatility() {
       self->endpoint().UnmapAll();
+      // The command engine is process code — it dies with the process
+      // (commands then fail like any other passive endpoint), unlike a
+      // hardware NPMU whose engine rides out power loss.
+      self->endpoint().InstallCommandHook(nullptr);
       std::fill(self->memory_.begin(), self->memory_.end(), std::byte{0});
     }
   } guard{this};
+
+  if (config_.active_commands) {
+    endpoint().InstallCommandHook(
+        [this](std::uint32_t opcode, std::span<const std::byte> request) {
+          return ExecuteDeviceCommand(
+              sim(), data_memory(), /*media=*/nullptr, config_.capacity_bytes,
+              config_.command_scan_bw_bytes_per_sec, config_.command_setup,
+              opcode, request);
+        });
+  }
 
   cluster().names().Register(name(), this);
   // The PMP is passive after setup: RDMA bypasses it entirely (that is

@@ -37,6 +37,16 @@ struct NpmuConfig {
   // (common/durability.h). Off by default — the seed's idealized
   // "landed == durable" device, with zero extra copies or bookkeeping.
   bool volatile_staging = false;
+  // Active execution model (near-data offload, pm/offload.h). Off by
+  // default: the paper's NPMU is passive, with no CPU in the data path.
+  // When on, the device answers VerifyScan / CompactTo / ShipReplay
+  // commands so recovery ships summaries and filtered records instead of
+  // whole log images.
+  bool active_commands = false;
+  // Modeled near-data engine: fixed per-command setup plus bytes
+  // scanned/moved at the media streaming rate.
+  std::uint64_t command_scan_bw_bytes_per_sec = 2ull << 30;  // 2 GiB/s
+  sim::SimDuration command_setup = sim::Microseconds(5);
 };
 
 // Hardware NPMU: a fabric endpoint backed by non-volatile memory. Not a

@@ -38,6 +38,21 @@ AdpProcess::AdpProcess(nsk::Cluster& cluster, int cpu_index,
 Task<void> AdpProcess::OnBecomePrimary(bool via_takeover) {
   const sim::SimTime t0 = sim().Now();
   (void)co_await device_->Open(*this);
+  if (!state_valid_ && config_.offload_recovery && !config_.retain_log_image) {
+    // Near-data recovery: ask the device to walk its own frames and
+    // return only the summary (tail, frame count, last LSN) — the log
+    // bytes never cross the fabric. Any failure falls through to the
+    // host-scan path below; correctness never depends on the offload.
+    auto summary = co_await device_->RecoverSummary(*this);
+    if (summary.ok()) {
+      durable_tail_ = summary->durable_tail;
+      next_lsn_ = std::max(next_lsn_, summary->next_lsn);
+      state_valid_ = true;
+    } else {
+      ODS_WLOG("adp", "%s: offload recovery failed, host scan: %s",
+               name().c_str(), summary.status().ToString().c_str());
+    }
+  }
   if (!state_valid_) {
     // No surviving in-memory state (fresh start or post-power-loss
     // restart): re-derive the durable tail and next LSN from the medium.
@@ -308,6 +323,23 @@ Task<void> AdpProcess::HandleRequest(Request req) {
         break;
       }
       req.Respond(OkStatus(), log_image_);
+      break;
+    }
+    case kAdpReplaySource: {
+      // Replay handoff: tell the recovering DP2 where the durable log
+      // lives so it can ship filtered replay straight from the device.
+      auto src = device_->replay_source();
+      if (!src.has_value()) {
+        req.Respond(Status(ErrorCode::kFailedPrecondition,
+                           "log device has no direct replay source"));
+        break;
+      }
+      Serializer s;
+      s.PutString(src->pmm_service);
+      s.PutString(src->region_name);
+      s.PutU64(src->base_offset);
+      s.PutU64(src->length);
+      req.Respond(OkStatus(), std::move(s).Take());
       break;
     }
     default:

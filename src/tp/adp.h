@@ -34,6 +34,12 @@ struct AdpConfig {
   // it without re-scanning the device (costs host memory ∝ log size;
   // enable in recovery tests, off for long benchmarks).
   bool retain_log_image = false;
+  // Cold recovery via the device's summary scan (VerifyScan on an active
+  // NPMU): re-derive durable tail and next LSN without pulling the log
+  // image across the fabric. Falls back to the host scan when the device
+  // is passive or the command fails. No effect when retain_log_image is
+  // set (DP2 replay then needs the host-side image anyway).
+  bool offload_recovery = false;
 };
 
 class AdpProcess : public nsk::PairMember {

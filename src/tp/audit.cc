@@ -47,6 +47,11 @@ void FrameRecord(const AuditRecord& rec, std::vector<std::byte>& out) {
   // so the frame needs no temporary payload vector and at most one
   // reallocation of the accumulating buffer.
   const std::size_t payload_size = rec.WireSize() - kFrameOverhead;
+  // A zero-length payload is unrepresentable (the fixed header alone is
+  // 40 bytes); recovery scans — host and device alike — rely on that to
+  // treat a zero length word as the end-of-log sentinel rather than a
+  // valid empty frame.
+  assert(payload_size > 0 && "framed audit payload must be non-empty");
   Serializer s(std::move(out));
   s.Reserve(payload_size + kFrameOverhead);
   s.PutU32(static_cast<std::uint32_t>(payload_size));

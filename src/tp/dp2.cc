@@ -4,6 +4,8 @@
 
 #include "common/log.h"
 #include "common/serialize.h"
+#include "pm/client.h"
+#include "pm/offload.h"
 #include "tp/kinds.h"
 #include "tp/log_device.h"
 
@@ -217,6 +219,41 @@ Task<void> Dp2Process::FlushLoop() {
   flusher_running_ = false;
 }
 
+Task<bool> Dp2Process::OffloadReplay() {
+  // Ask this partition's log writer where the durable trail lives. A
+  // passive device, a disk ADP, or a down ADP all answer with an error —
+  // the caller then runs the kAdpReadLog path instead.
+  auto src = co_await Call(config_.adp_service, kAdpReplaySource, {});
+  if (!src.ok() || !src->status.ok()) co_return false;
+  Deserializer d(src->payload);
+  std::string pmm_service, region_name;
+  std::uint64_t base_offset = 0, length = 0;
+  if (!d.GetString(pmm_service) || !d.GetString(region_name) ||
+      !d.GetU64(base_offset) || !d.GetU64(length)) {
+    co_return false;
+  }
+  if (length == 0) co_return true;  // empty trail: nothing to redo
+  pm::PmClient client(*this, pmm_service);
+  auto region = co_await client.Open(region_name);
+  if (!region.ok()) co_return false;
+  auto resp = co_await region->DeviceCommand(
+      pm::kCmdShipReplay,
+      pm::BuildShipReplayRequest(region->handle().nva + base_offset, length,
+                                 config_.file_id, config_.partition,
+                                 config_.partitions_per_file));
+  if (!resp.ok()) co_return false;
+  // The device pre-filtered the stream: every frame is a committed update
+  // for this partition, in LSN order. One pass, no commit set to build.
+  LogScanner scan(*resp);
+  std::uint64_t applied = 0;
+  while (auto rec = scan.Next()) {
+    table_[LockKey{rec->file_id, rec->key}] = std::move(rec->after_image);
+    ++applied;
+  }
+  co_await Compute(config_.apply_cpu * static_cast<std::int64_t>(applied));
+  co_return true;
+}
+
 Task<void> Dp2Process::OnBecomePrimary(bool via_takeover) {
   const sim::SimTime t0 = sim().Now();
   if (!state_valid_) {
@@ -232,6 +269,13 @@ Task<void> Dp2Process::OnBecomePrimary(bool via_takeover) {
               std::move(rec->after_image);
         }
       }
+    }
+    if (config_.offload_replay && config_.partitions_per_file > 0 &&
+        co_await OffloadReplay()) {
+      state_valid_ = true;
+      (void)via_takeover;
+      last_recovery_time_ = sim().Now() - t0;
+      co_return;
     }
     auto log = co_await Call(config_.adp_service, kAdpReadLog, {});
     if (log.ok() && log->status.ok()) {

@@ -22,5 +22,9 @@ inline constexpr std::uint32_t kDp2Stats = 0x314;
 inline constexpr std::uint32_t kAdpBuffer = 0x320;   // buffer audit records
 inline constexpr std::uint32_t kAdpFlush = 0x321;    // make audit durable
 inline constexpr std::uint32_t kAdpReadLog = 0x322;  // recovery support
+// Hand a recovering DP2 the coordinates of the durable log region so it
+// can pull filtered replay straight from the NPMU (device ShipReplay)
+// instead of shipping the whole image through the ADP.
+inline constexpr std::uint32_t kAdpReplaySource = 0x323;
 
 }  // namespace ods::tp

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/crc32.h"
+#include "common/framescan.h"
 #include "common/serialize.h"
+#include "pm/offload.h"
 #include "sim/fault_plan.h"
 
 namespace ods::tp {
@@ -12,8 +14,28 @@ using sim::Task;
 
 namespace {
 
-constexpr std::uint32_t kControlMagic = 0x41445054;       // "ADPT"
+constexpr std::uint32_t kControlMagic = 0x41445054;       // "ADPT" v1
+constexpr std::uint32_t kControlMagicV2 = 0x41445055;     // "ADPU" v2 (+base)
 constexpr std::uint32_t kShardControlMagic = 0x41445053;  // "ADPS"
+
+// ADP log control block. v1 is the seed format {magic, tail, crc}; v2
+// adds the retained base a Compact leaves behind. v1 is written for as
+// long as base == 0 and offload is off, so passive runs stay
+// byte-identical to the seed.
+std::vector<std::byte> EncodeAdpControl(std::uint64_t tail,
+                                        std::uint64_t base, bool v2) {
+  Serializer s;
+  if (v2) {
+    s.PutU32(kControlMagicV2);
+    s.PutU64(tail);
+    s.PutU64(base);
+  } else {
+    s.PutU32(kControlMagic);
+    s.PutU64(tail);
+  }
+  s.PutU32(Crc32c(s.bytes()));
+  return std::move(s).Take();
+}
 
 // Splits a ring write into at most two physical extents.
 template <typename WriteFn>
@@ -59,6 +81,32 @@ Task<Status> LogDevice::AppendAligned(nsk::NskProcess& host,
   return Append(host, std::move(bytes), op_id);
 }
 
+Task<Result<LogDevice::RecoverySummary>> LogDevice::RecoverSummary(
+    nsk::NskProcess& host) {
+  // Host-side default: recover the full image, then scan it here. The
+  // active-offload devices override this with a device command that
+  // returns the same numbers without the image ever crossing the fabric.
+  auto log = co_await RecoverLog(host);
+  if (!log.ok()) co_return log.status();
+  RecoverySummary s;
+  s.durable_tail = tail();
+  FrameScanState scan;
+  FrameScanStep(*log, scan);
+  s.frame_count = scan.frame_count;
+  if (scan.frame_count > 0) {
+    FramedRecordHeader h;
+    if (PeekFramedRecord(*log, scan.last_frame_off, h)) s.next_lsn = h.lsn + 1;
+  }
+  co_return s;
+}
+
+Task<Status> LogDevice::Compact(nsk::NskProcess& host, std::uint64_t cut) {
+  (void)host;
+  (void)cut;
+  co_return Status(ErrorCode::kFailedPrecondition,
+                   "log device does not support compaction");
+}
+
 // ------------------------------------------------------------ DiskLogDevice
 
 Task<Status> DiskLogDevice::Open(nsk::NskProcess& host) {
@@ -83,38 +131,32 @@ Task<Status> DiskLogDevice::Append(nsk::NskProcess& host,
   co_return st;
 }
 
-// Walks length/crc frames without deserializing payloads.
+// Walks length/crc frames without deserializing payloads (the canonical
+// walk in common/framescan.h, shared with the device-side VerifyScan).
 std::uint64_t ValidFramePrefix(std::span<const std::byte> image) {
-  std::uint64_t pos = 0;
-  while (pos + 8 <= image.size()) {
-    Deserializer d(image.subspan(pos));
-    std::uint32_t len = 0;
-    if (!d.GetU32(len) || len == 0 || pos + 4 + len + 4 > image.size()) break;
-    const auto payload = image.subspan(pos + 4, len);
-    Deserializer t(image.subspan(pos + 4 + len, 4));
-    std::uint32_t stored = 0;
-    (void)t.GetU32(stored);
-    if (Crc32c(payload) != stored) break;
-    pos += 4 + len + 4;
-  }
-  return pos;
+  return FrameScanPrefix(image);
 }
 
 Task<Result<std::vector<std::byte>>> ScanFramedVolume(
     nsk::NskProcess& host, storage::DiskVolume& volume) {
   constexpr std::uint64_t kScanChunk = 4 << 20;
   std::vector<std::byte> log;
-  std::uint64_t durable = 0;
+  FrameScanState scan;
   for (std::uint64_t off = 0; off < volume.capacity(); off += kScanChunk) {
     const std::uint64_t n =
         std::min<std::uint64_t>(kScanChunk, volume.capacity() - off);
     auto chunk = co_await volume.Read(host, off, n);
     if (!chunk.ok()) co_return chunk.status();
     log.insert(log.end(), chunk->begin(), chunk->end());
-    durable = ValidFramePrefix(log);
-    if (durable + 8 < log.size()) break;  // reached the torn/empty tail
+    // Resume the walk from the previous chunk's durable tail (O(total),
+    // not O(n²)). Only a hard stop — the len==0 sentinel or a CRC
+    // mismatch — ends the scan early: a frame merely extending past the
+    // bytes read so far may straddle the chunk boundary, and the next
+    // chunk decides whether it completes or is the torn tail.
+    FrameScanStep(log, scan);
+    if (scan.hard_stop) break;
   }
-  log.resize(durable);
+  log.resize(scan.durable_tail);
   co_return log;
 }
 
@@ -135,11 +177,35 @@ Task<Result<std::vector<std::byte>>> DiskLogDevice::RecoverLog(
 
 std::vector<std::byte> PmLogDevice::EncodeControlBlock(
     std::uint64_t tail) const {
-  Serializer s;
-  s.PutU32(kControlMagic);
-  s.PutU64(tail);
-  s.PutU32(Crc32c(s.bytes()));
-  return std::move(s).Take();
+  return EncodeAdpControl(tail, base_, config_.offload || base_ != 0);
+}
+
+Result<bool> PmLogDevice::DecodeControlBlock(std::span<const std::byte> cb,
+                                             std::uint64_t& tail,
+                                             std::uint64_t& base) {
+  Deserializer d(cb);
+  std::uint32_t magic = 0;
+  if (!d.GetU32(magic) ||
+      (magic != kControlMagic && magic != kControlMagicV2)) {
+    return false;  // virgin region: empty log
+  }
+  std::uint64_t t = 0, b = 0;
+  std::uint32_t stored_crc = 0;
+  if (!d.GetU64(t) ||
+      (magic == kControlMagicV2 && !d.GetU64(b)) ||
+      !d.GetU32(stored_crc)) {
+    return false;
+  }
+  Serializer check;
+  check.PutU32(magic);
+  check.PutU64(t);
+  if (magic == kControlMagicV2) check.PutU64(b);
+  if (Crc32c(check.bytes()) != stored_crc) {
+    return Status(ErrorCode::kDataLoss, "PM log control block corrupt");
+  }
+  tail = t;
+  base = b;
+  return true;
 }
 
 Task<Status> PmLogDevice::Open(nsk::NskProcess& host) {
@@ -184,7 +250,7 @@ Task<Status> PmLogDevice::AppendBatch(
   }
 
   const std::uint64_t cap = config_.region_bytes;
-  const bool wraps = (tail_ % cap) + n > cap;
+  const bool wraps = Phys(tail_) + n > cap;
   if (config_.piggyback_control && !wraps) {
     // Fast path: data and the control block carrying the advanced tail go
     // out as ONE chained RDMA op — a single software-latency round trip
@@ -194,7 +260,7 @@ Task<Status> PmLogDevice::AppendBatch(
     const std::uint64_t new_tail = tail_ + n;
     std::vector<pm::PmRegion::ScatterOp> ops;
     ops.reserve(2);
-    ops.push_back({kDataBase + (tail_ % cap), std::move(flat)});
+    ops.push_back({kDataBase + Phys(tail_), std::move(flat)});
     ops.push_back({0, EncodeControlBlock(new_tail)});
     auto st = co_await region_->WriteChain(std::move(ops), op_id);
     if (!st.ok()) co_return st;
@@ -207,7 +273,7 @@ Task<Status> PmLogDevice::AppendBatch(
   // then write the control block as its own op — the seed's ordering
   // (data fully durable before the tail pointer covers it).
   auto st = co_await RingWrite(
-      tail_, cap, kDataBase, std::move(flat),
+      tail_ - base_, cap, kDataBase, std::move(flat),
       [&](std::uint64_t off, std::vector<std::byte> b) -> Task<Status> {
         co_return co_await pipeline_->Submit(off, std::move(b), op_id);
       });
@@ -226,31 +292,137 @@ Task<Result<std::vector<std::byte>>> PmLogDevice::RecoverLog(
   // Direct read of the durable tail pointer — no scanning.
   auto cb = co_await region_->Read(0, 64);
   if (!cb.ok()) co_return cb.status();
-  Deserializer d(*cb);
-  std::uint32_t magic = 0;
-  std::uint64_t tail = 0;
-  std::uint32_t stored_crc = 0;
-  if (!d.GetU32(magic) || magic != kControlMagic || !d.GetU64(tail) ||
-      !d.GetU32(stored_crc)) {
+  std::uint64_t tail = 0, base = 0;
+  auto present = DecodeControlBlock(*cb, tail, base);
+  if (!present.ok()) co_return present.status();
+  if (!*present) {
     // Virgin region: empty log.
     tail_ = 0;
+    base_ = 0;
     co_return std::vector<std::byte>{};
   }
-  Serializer check;
-  check.PutU32(magic);
-  check.PutU64(tail);
-  if (Crc32c(check.bytes()) != stored_crc) {
-    co_return Status(ErrorCode::kDataLoss, "PM log control block corrupt");
-  }
   tail_ = tail;
-  if (tail > config_.region_bytes) {
+  base_ = base;
+  if (tail - base > config_.region_bytes) {
     co_return Status(ErrorCode::kFailedPrecondition,
                      "log wrapped; full history not retained");
   }
-  if (tail == 0) co_return std::vector<std::byte>{};
-  auto data = co_await region_->Read(kDataBase, tail);
+  if (tail == base) co_return std::vector<std::byte>{};
+  // The retained suffix [base, tail) sits at physical 0 — a Compact
+  // re-anchors the ring there.
+  auto data = co_await region_->Read(kDataBase, tail - base);
   if (!data.ok()) co_return data.status();
   co_return std::move(*data);
+}
+
+Task<Result<LogDevice::RecoverySummary>> PmLogDevice::RecoverSummary(
+    nsk::NskProcess& host) {
+  if (!config_.offload) co_return co_await LogDevice::RecoverSummary(host);
+  if (!region_) {
+    auto st = co_await Open(host);
+    if (!st.ok()) co_return st;
+  }
+  auto cb = co_await region_->Read(0, 64);
+  if (!cb.ok()) co_return cb.status();
+  std::uint64_t tail = 0, base = 0;
+  auto present = DecodeControlBlock(*cb, tail, base);
+  if (!present.ok()) co_return present.status();
+  RecoverySummary summary;
+  summary.offloaded = true;
+  if (!*present) {
+    tail_ = 0;
+    base_ = 0;
+    co_return summary;
+  }
+  const std::uint64_t retained = tail - base;
+  if (retained > config_.region_bytes) {
+    co_return Status(ErrorCode::kFailedPrecondition,
+                     "log wrapped; full history not retained");
+  }
+  // Device-side scan of the retained frames: only the summary crosses
+  // the fabric, never the log. A passive device (or any command failure)
+  // drops to the host path — correctness never depends on the offload.
+  auto resp = co_await region_->DeviceCommand(
+      pm::kCmdVerifyScan,
+      pm::BuildVerifyScanRequest(pm::kScanCrcFrames,
+                                 region_->handle().nva + kDataBase,
+                                 retained));
+  if (!resp.ok()) co_return co_await LogDevice::RecoverSummary(host);
+  pm::VerifyScanResult vs;
+  if (!pm::ParseVerifyScanResponse(*resp, vs)) {
+    co_return Status(ErrorCode::kInternal, "malformed VerifyScan response");
+  }
+  if (vs.durable_tail != retained) {
+    // The control block covers these bytes; a scan stopping short of it
+    // means a frame below the committed tail is torn.
+    co_return Status(ErrorCode::kDataLoss,
+                     "torn frame below the committed log tail");
+  }
+  tail_ = tail;
+  base_ = base;
+  summary.durable_tail = tail;
+  summary.frame_count = vs.frame_count;
+  summary.next_lsn = vs.last_lsn + 1;
+  co_return summary;
+}
+
+Task<Status> PmLogDevice::Compact(nsk::NskProcess& host, std::uint64_t cut) {
+  (void)host;
+  if (!region_) co_return Status(ErrorCode::kFailedPrecondition, "not open");
+  if (cut < base_ || cut > tail_) {
+    co_return Status(ErrorCode::kOutOfRange, "cut outside the retained log");
+  }
+  if (tail_ - base_ > config_.region_bytes) {
+    co_return Status(ErrorCode::kFailedPrecondition,
+                     "log wrapped; full history not retained");
+  }
+  if (cut == base_) co_return OkStatus();
+  const std::uint64_t keep = tail_ - cut;
+  std::vector<std::byte> control = EncodeAdpControl(tail_, cut, /*v2=*/true);
+  if (config_.offload) {
+    // One durable device command per mirror: the NPMU moves the retained
+    // suffix to the ring base and installs the re-based control block,
+    // atomically at the command ack. Nothing but the request crosses the
+    // fabric.
+    auto resp = co_await region_->DeviceCommand(
+        pm::kCmdCompactTo,
+        pm::BuildCompactRequest(region_->handle().nva + kDataBase + Phys(cut),
+                                region_->handle().nva + kDataBase, keep,
+                                region_->handle().nva, control),
+        /*mirrored=*/true);
+    if (resp.ok()) {
+      base_ = cut;
+      co_return OkStatus();
+    }
+    if (resp.status().code() != ErrorCode::kFailedPrecondition) {
+      co_return resp.status();
+    }
+    // Passive device: fall through to the host path.
+  }
+  // Host path: read the suffix back, rewrite it at the ring base, then
+  // commit the re-based control. Costs two crossings of the retained
+  // bytes, and a crash between the rewrite and the control commit can
+  // leave the ring mid-move — the exposure the single-command offload
+  // closes.
+  if (keep > 0) {
+    auto suffix = co_await region_->Read(kDataBase + Phys(cut), keep);
+    if (!suffix.ok()) co_return suffix.status();
+    auto st = co_await region_->Write(kDataBase, std::move(*suffix));
+    if (!st.ok()) co_return st;
+  }
+  auto st = co_await region_->Write(0, std::move(control));
+  if (!st.ok()) co_return st;
+  base_ = cut;
+  co_return OkStatus();
+}
+
+std::optional<LogDevice::ReplaySource> PmLogDevice::replay_source() const {
+  if (!config_.offload || !region_.has_value() ||
+      tail_ - base_ > config_.region_bytes) {
+    return std::nullopt;
+  }
+  return ReplaySource{config_.pmm_service, config_.region_name,
+                      /*base_offset=*/kDataBase, tail_ - base_};
 }
 
 // ------------------------------------------------------- ShardedPmLogDevice
@@ -586,6 +758,126 @@ Task<Result<std::vector<std::byte>>> ShardedPmLogDevice::RecoverLog(
   }
   tail_ = covered;
   co_return std::move(image);
+}
+
+Task<Result<LogDevice::RecoverySummary>> ShardedPmLogDevice::RecoverSummary(
+    nsk::NskProcess& host) {
+  if (!config_.offload) co_return co_await LogDevice::RecoverSummary(host);
+  if (streams_.empty()) {
+    auto status = co_await Open(host);
+    if (!status.ok()) co_return status;
+  }
+  std::uint64_t t_max = 0;
+  for (const Stream& st : streams_) t_max = std::max(t_max, st.global_tail);
+  RecoverySummary summary;
+  summary.offloaded = true;
+  if (t_max == 0) {
+    tail_ = 0;
+    co_return summary;
+  }
+  // Same merge as RecoverLog, but built from device-side stripe scans:
+  // each stream returns its frame TABLE (headers only) — the payloads
+  // never cross the fabric. Stream positions follow from the cumulative
+  // frame sizes.
+  struct Frame {
+    std::uint64_t goff;
+    std::uint64_t gend;
+    std::uint64_t spos_end;
+  };
+  std::vector<std::vector<Frame>> frames_by_stream(streams_.size());
+  for (std::size_t si = 0; si < streams_.size(); ++si) {
+    Stream& st = streams_[si];
+    if (st.tail == 0) continue;
+    if (st.tail > config_.region_bytes) {
+      co_return Status(ErrorCode::kFailedPrecondition,
+                       "log stream wrapped; full history not retained");
+    }
+    auto resp = co_await st.region->DeviceCommand(
+        pm::kCmdVerifyScan,
+        pm::BuildVerifyScanRequest(pm::kScanStripeFrames,
+                                   st.region->handle().nva + kStreamDataBase,
+                                   st.tail));
+    if (!resp.ok()) co_return co_await LogDevice::RecoverSummary(host);
+    std::vector<pm::StripeFrame> table;
+    if (!pm::ParseStripeScanResponse(*resp, table)) {
+      co_return Status(ErrorCode::kInternal, "malformed stripe scan response");
+    }
+    std::uint64_t pos = 0;
+    for (const pm::StripeFrame& f : table) {
+      if (f.len == 0 || pos + kFrameHeader + f.len > st.tail ||
+          f.goff + f.len > t_max) {
+        co_return Status(ErrorCode::kDataLoss,
+                         "torn frame below a committed stream tail");
+      }
+      pos += kFrameHeader + f.len;
+      frames_by_stream[si].push_back({f.goff, f.goff + f.len, pos});
+    }
+    if (pos != st.tail) {
+      co_return Status(ErrorCode::kDataLoss,
+                       "torn frame below a committed stream tail");
+    }
+    if (frames_by_stream[si].size() != st.epoch) {
+      co_return Status(ErrorCode::kDataLoss,
+                       "stream epoch does not match its frame count");
+    }
+    summary.frame_count += frames_by_stream[si].size();
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals;
+  for (const auto& fs : frames_by_stream) {
+    for (const Frame& f : fs) intervals.emplace_back(f.goff, f.gend);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::uint64_t covered = 0;
+  for (const auto& [begin, end] : intervals) {
+    if (begin > covered) break;
+    covered = std::max(covered, end);
+  }
+  if (covered < t_max) {
+    // Truncate stale sibling stripes of the torn final flush, exactly as
+    // the image-based recovery does.
+    for (std::size_t si = 0; si < streams_.size(); ++si) {
+      auto& fs = frames_by_stream[si];
+      if (fs.empty() || fs.back().gend <= covered) continue;
+      Stream& st = streams_[si];
+      while (!fs.empty() && fs.back().gend > covered) {
+        fs.pop_back();
+        st.epoch -= 1;
+      }
+      st.tail = fs.empty() ? 0 : fs.back().spos_end;
+      st.global_tail = fs.empty() ? 0 : fs.back().gend;
+      auto status = co_await st.region->Write(
+          0, EncodeStreamControl(st.epoch, st.tail, st.global_tail));
+      if (!status.ok()) co_return status;
+    }
+  }
+  tail_ = covered;
+  summary.durable_tail = covered;
+  if (covered > 0) {
+    // The final record lives wholly inside the stripe ending at the
+    // covered tail (stripes cut only at record boundaries) — read just
+    // that stripe's payload to learn the next LSN.
+    bool found = false;
+    for (std::size_t si = 0; si < streams_.size() && !found; ++si) {
+      for (const Frame& f : frames_by_stream[si]) {
+        if (f.gend != covered) continue;
+        const std::uint64_t len = f.gend - f.goff;
+        auto data = co_await streams_[si].region->Read(
+            kStreamDataBase + (f.spos_end - len), len);
+        if (!data.ok()) co_return data.status();
+        FrameScanState scan;
+        FrameScanStep(*data, scan);
+        if (scan.frame_count > 0) {
+          FramedRecordHeader h;
+          if (PeekFramedRecord(*data, scan.last_frame_off, h)) {
+            summary.next_lsn = h.lsn + 1;
+          }
+        }
+        found = true;
+        break;
+      }
+    }
+  }
+  co_return summary;
 }
 
 }  // namespace ods::tp

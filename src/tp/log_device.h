@@ -82,6 +82,45 @@ class LogDevice {
   virtual sim::Task<Result<std::vector<std::byte>>> RecoverLog(
       nsk::NskProcess& host) = 0;
 
+  // Summary-based cold recovery: what the log writer needs to resume
+  // appending — durable tail and the next LSN — WITHOUT the log image
+  // itself. The active-offload PM devices answer this with a device-side
+  // VerifyScan command (the whole log never crosses the fabric); the
+  // default runs RecoverLog and scans on the host.
+  struct RecoverySummary {
+    std::uint64_t durable_tail = 0;  // logical durable tail
+    std::uint64_t frame_count = 0;   // frames validated behind it
+    std::uint64_t next_lsn = 1;      // 1 + the final record's LSN
+    bool offloaded = false;          // true when a device command did the scan
+  };
+  virtual sim::Task<Result<RecoverySummary>> RecoverSummary(
+      nsk::NskProcess& host);
+
+  // Reclaims log space below `cut` (a checkpoint cut: the caller
+  // guarantees recovery never needs bytes below it, and that `cut` is a
+  // record boundary). Afterwards log_base() == cut and RecoverLog
+  // returns only the retained suffix. The active-offload PmLogDevice
+  // does this with one durable CompactTo device command per mirror;
+  // passive PM pays read-back + rewrite round trips. Default:
+  // unsupported.
+  virtual sim::Task<Status> Compact(nsk::NskProcess& host, std::uint64_t cut);
+  // Logical offset of the first retained log byte (0 until a Compact).
+  [[nodiscard]] virtual std::uint64_t log_base() const noexcept { return 0; }
+
+  // Where a DP2 can stream committed records straight from the device
+  // (the ShipReplay command), bypassing the log writer's host hop.
+  // Engaged only by the active-offload PmLogDevice; nullopt = replay
+  // must go through the host (kAdpReadLog).
+  struct ReplaySource {
+    std::string pmm_service;
+    std::string region_name;
+    std::uint64_t base_offset = 0;  // region-relative offset of first frame
+    std::uint64_t length = 0;       // framed bytes to scan
+  };
+  [[nodiscard]] virtual std::optional<ReplaySource> replay_source() const {
+    return std::nullopt;
+  }
+
   [[nodiscard]] virtual std::uint64_t tail() const noexcept = 0;
   // Installs the tail on a promoted backup (checkpointed state).
   virtual void set_tail(std::uint64_t tail) noexcept = 0;
@@ -135,6 +174,13 @@ struct PmLogConfig {
   // Per-log override of the fabric-wide remote-durability mode
   // (common/durability.h); nullopt = FabricConfig::durability_mode.
   std::optional<DurabilityMode> durability;
+  // Active-NPMU offload: cold recovery via a device-side VerifyScan
+  // command instead of shipping the log image, compaction via a single
+  // CompactTo command, and replay_source() advertised so DP2s can
+  // ShipReplay straight off the device. Requires the device to execute
+  // commands (pm::NpmuConfig::active_commands); off = the paper's
+  // passive NPMU, byte-identical to the seed.
+  bool offload = false;
 };
 
 class PmLogDevice final : public LogDevice {
@@ -149,6 +195,13 @@ class PmLogDevice final : public LogDevice {
       std::uint64_t op_id = 0) override;
   sim::Task<Result<std::vector<std::byte>>> RecoverLog(
       nsk::NskProcess& host) override;
+  sim::Task<Result<RecoverySummary>> RecoverSummary(
+      nsk::NskProcess& host) override;
+  sim::Task<Status> Compact(nsk::NskProcess& host, std::uint64_t cut) override;
+  [[nodiscard]] std::uint64_t log_base() const noexcept override {
+    return base_;
+  }
+  [[nodiscard]] std::optional<ReplaySource> replay_source() const override;
 
   [[nodiscard]] std::uint64_t tail() const noexcept override { return tail_; }
   void set_tail(std::uint64_t tail) noexcept override { tail_ = tail; }
@@ -160,6 +213,7 @@ class PmLogDevice final : public LogDevice {
     pipeline_.reset();
     region_.reset();
     tail_ = 0;
+    base_ = 0;
   }
 
  private:
@@ -168,12 +222,22 @@ class PmLogDevice final : public LogDevice {
 
   [[nodiscard]] std::vector<std::byte> EncodeControlBlock(
       std::uint64_t tail) const;
+  // Parses a control block (either format); false = virgin region.
+  [[nodiscard]] static Result<bool> DecodeControlBlock(
+      std::span<const std::byte> cb, std::uint64_t& tail, std::uint64_t& base);
+  // Physical ring offset of logical byte L (compaction re-anchors the
+  // ring so the retained base sits at physical 0).
+  [[nodiscard]] std::uint64_t Phys(std::uint64_t logical) const noexcept {
+    return (logical - base_) % config_.region_bytes;
+  }
 
   PmLogConfig config_;
   std::optional<pm::PmRegion> region_;
   std::optional<pm::PmWritePipeline> pipeline_;
   PipelineStats stats_;
   std::uint64_t tail_ = 0;
+  // Logical offset of the first retained byte (> 0 after a Compact).
+  std::uint64_t base_ = 0;
 };
 
 // Multi-log configuration for a sharded persistence plane: one log
@@ -188,6 +252,10 @@ struct ShardedPmLogConfig {
   // Per-log override of the fabric-wide remote-durability mode, applied
   // to every stream region (nullopt = FabricConfig::durability_mode).
   std::optional<DurabilityMode> durability;
+  // Active-NPMU offload: recover each stream's frame table with a
+  // device-side stripe VerifyScan (headers only — stripe payloads never
+  // cross the fabric) instead of reading every stream in full.
+  bool offload = false;
 };
 
 // The ADP's multi-log mode (scale-out): the logical audit log is striped
@@ -240,6 +308,8 @@ class ShardedPmLogDevice final : public LogDevice {
                                   std::vector<std::uint64_t> marks,
                                   std::uint64_t op_id = 0) override;
   sim::Task<Result<std::vector<std::byte>>> RecoverLog(
+      nsk::NskProcess& host) override;
+  sim::Task<Result<RecoverySummary>> RecoverSummary(
       nsk::NskProcess& host) override;
 
   [[nodiscard]] std::uint64_t tail() const noexcept override { return tail_; }

@@ -8,13 +8,17 @@
 #include <span>
 #include <utility>
 
+#include "common/keyhash.h"
+#include "common/serialize.h"
 #include "common/trace.h"
 #include "nsk/cluster.h"
 #include "pm/client.h"
 #include "pm/manager.h"
 #include "pm/metadata.h"
 #include "pm/npmu.h"
+#include "pm/offload.h"
 #include "sim/simulation.h"
+#include "tp/audit.h"
 
 namespace ods::workload {
 namespace {
@@ -35,6 +39,17 @@ using sim::Task;
 constexpr std::uint64_t kProbeBytes = 4096;
 constexpr SimTime kVerifyAt{Seconds(10).ns};
 constexpr SimTime kRunEnd{Seconds(20).ns};
+
+// Offload-leg layout inside the "omega" region: the probe range
+// [0, kProbeBytes) stays zero (so the standard I3/I4 checks apply
+// unchanged), the compact control block lives at kCtlOff, the framed
+// log at kLogOff.
+constexpr std::uint64_t kCtlOff = kProbeBytes;
+constexpr std::uint64_t kLogOff = 2 * kProbeBytes;
+// ShipReplay filter exercised by the leg.
+constexpr std::uint32_t kLegFile = 0;
+constexpr std::uint32_t kLegPartition = 0;
+constexpr std::uint32_t kLegPartitions = 2;
 
 class FiberProc : public nsk::NskProcess {
  public:
@@ -105,14 +120,25 @@ struct CrashRig {
   static pm::NpmuConfig MakeNpmuConfig(const DurabilityOptions& dur) {
     pm::NpmuConfig c;
     c.volatile_staging = dur.volatile_staging;
+    c.active_commands = dur.offload;
     return c;
   }
+
+  // Offload-leg ground truth (armed by DurabilityOptions::offload).
+  bool offload = false;
+  std::vector<std::byte> log_frames;    // full framed log image
+  std::vector<std::byte> expected_ship; // committed updates for the filter
+  std::uint64_t log_cut = 0;            // compact cut (frame boundary)
+  std::vector<std::byte> log_control;   // control bytes the compact writes
+  bool log_write_acked = false;
+  bool compact_attempted = false;
+  bool compact_acked = false;
 
   CrashRig(std::uint64_t seed, CrashMode m, const DurabilityOptions& dur)
       : sim(seed), cluster(sim, MakeConfig()),
         npmu_a(cluster.fabric(), "npmu-a", MakeNpmuConfig(dur)),
         npmu_b(cluster.fabric(), "npmu-b", MakeNpmuConfig(dur)),
-        mode(m) {
+        mode(m), offload(dur.offload) {
     cluster.fabric().set_durability_mode(dur.mode);
     pmm_p = &sim.AdoptStopped<pm::PmManager>(cluster, 0, "$PMM", "$PMM-P",
                                              pm::PmDevice(npmu_a),
@@ -366,6 +392,144 @@ struct CrashRig {
     // extent; if the delete FAILED, it must not.
     co_await CreateRegion(client, self, "delta", 16 * 1024);
     co_await WriteRegion(client, self, "delta", 0xD1);
+
+    if (offload) co_await OffloadLeg(client, self);
+  }
+
+  // ---- active-NPMU offload leg ----
+
+  // Writes a framed audit log into "omega" and drives all three device
+  // commands against it. Every command tolerates failure (the armed
+  // fault may land anywhere); checks only bind once the prerequisite op
+  // was ACKED — the same acked-only contract as RegionTruth.
+  Task<void> OffloadLeg(pm::PmClient& client, FiberProc& self) {
+    co_await CreateRegion(client, self, "omega", 64 * 1024);
+    auto r = co_await client.Open("omega");
+    if (!r.ok()) co_return;
+
+    std::vector<std::uint64_t> marks;  // frame boundaries
+    auto add = [&](std::uint64_t lsn, std::uint64_t txn, tp::AuditType type,
+                   std::uint32_t file, std::uint64_t key, std::uint8_t v) {
+      tp::AuditRecord rec;
+      rec.lsn = lsn;
+      rec.txn = txn;
+      rec.type = type;
+      rec.file_id = file;
+      rec.key = key;
+      if (type == tp::AuditType::kUpdate) rec.after_image = Fill(32, v);
+      const std::size_t before = log_frames.size();
+      tp::FrameRecord(rec, log_frames);
+      marks.push_back(log_frames.size());
+      // Host-side model of the device's replay filter.
+      if (type == tp::AuditType::kUpdate && txn == 7 && file == kLegFile &&
+          KeyPartition(key, kLegPartitions) == kLegPartition) {
+        expected_ship.insert(expected_ship.end(), log_frames.begin() + before,
+                             log_frames.end());
+      }
+    };
+    add(1, 7, tp::AuditType::kUpdate, kLegFile, 0, 0x11);
+    add(2, 7, tp::AuditType::kUpdate, kLegFile, 1, 0x12);
+    add(3, 9, tp::AuditType::kUpdate, kLegFile, 2, 0x21);  // never commits
+    add(4, 7, tp::AuditType::kUpdate, 1, 3, 0x31);         // other file
+    add(5, 7, tp::AuditType::kCommit, kLegFile, 0, 0);
+
+    auto st = co_await r->Write(kLogOff, log_frames);
+    if (st.ok()) log_write_acked = true;
+    if (!log_write_acked) co_return;  // everything below is indeterminate
+
+    const std::uint64_t base = r->handle().nva + kLogOff;
+    auto vs = co_await r->DeviceCommand(
+        pm::kCmdVerifyScan,
+        pm::BuildVerifyScanRequest(pm::kScanCrcFrames, base,
+                                   log_frames.size()));
+    if (vs.ok()) {
+      pm::VerifyScanResult scan;
+      if (!pm::ParseVerifyScanResponse(*vs, scan) ||
+          scan.durable_tail != log_frames.size() ||
+          scan.frame_count != marks.size()) {
+        Violate("offload: device VerifyScan disagrees with acked log write");
+      }
+    }
+
+    auto sr = co_await r->DeviceCommand(
+        pm::kCmdShipReplay,
+        pm::BuildShipReplayRequest(base, log_frames.size(), kLegFile,
+                                   kLegPartition, kLegPartitions));
+    if (sr.ok() && *sr != expected_ship) {
+      Violate("offload: ShipReplay stream differs from the host filter");
+    }
+
+    // Compact away the first two frames with one mirrored device command.
+    log_cut = marks[1];
+    const std::uint64_t keep = log_frames.size() - log_cut;
+    Serializer ctl;
+    ctl.PutU64(log_cut);
+    ctl.PutU64(keep);
+    log_control = std::move(ctl).Take();
+    compact_attempted = true;
+    auto cp = co_await r->DeviceCommand(
+        pm::kCmdCompactTo,
+        pm::BuildCompactRequest(base + log_cut, base, keep,
+                                r->handle().nva + kCtlOff, log_control),
+        /*mirrored=*/true);
+    if (cp.ok()) compact_acked = true;
+  }
+
+  // Post-recovery: the log area must hold exactly what the acked command
+  // history promises, and the device's own scan must agree with it.
+  Task<void> VerifyOffloadLeg(pm::PmClient& client) {
+    if (!log_write_acked) co_return;  // leg never externalized anything
+    auto r = co_await client.Open("omega");
+    if (!r.ok()) co_return;  // existence is already an I4 truth check
+    const std::uint64_t keep = log_frames.size() - log_cut;
+    auto data = co_await r->Read(kLogOff, log_frames.size());
+    if (!data.ok()) {
+      Violate("offload: log area unreadable after recovery: " +
+              data.status().ToString());
+      co_return;
+    }
+    const bool matches_pre =
+        std::equal(log_frames.begin(), log_frames.end(), data->begin());
+    const bool matches_post =
+        compact_attempted &&
+        std::equal(log_frames.begin() +
+                       static_cast<std::ptrdiff_t>(log_cut),
+                   log_frames.end(), data->begin());
+    if (compact_acked) {
+      if (!matches_post) {
+        Violate("offload: acked CompactTo lost after recovery");
+      }
+      auto ctl = co_await r->Read(kCtlOff, log_control.size());
+      if (!ctl.ok() ||
+          !std::equal(log_control.begin(), log_control.end(), ctl->begin())) {
+        Violate("offload: acked CompactTo control block lost after recovery");
+      }
+    } else if (compact_attempted) {
+      // Errored single-command compact: atomic per ack contract — the
+      // primary's view must be wholly old or wholly new, never a blend.
+      if (!matches_pre && !matches_post) {
+        Violate("offload: errored CompactTo left a torn log area");
+      }
+    } else if (!matches_pre) {
+      Violate("offload: acked log write lost after recovery");
+    }
+    // Differential: the device scanning its own media must see the same
+    // durable tail the host just read back.
+    if (matches_pre || matches_post) {
+      const std::uint64_t want = matches_post ? keep : log_frames.size();
+      auto vs = co_await r->DeviceCommand(
+          pm::kCmdVerifyScan,
+          pm::BuildVerifyScanRequest(pm::kScanCrcFrames,
+                                     r->handle().nva + kLogOff, want));
+      if (vs.ok()) {
+        pm::VerifyScanResult scan;
+        if (!pm::ParseVerifyScanResponse(*vs, scan) ||
+            scan.durable_tail != want) {
+          Violate("offload: post-recovery VerifyScan disagrees with the "
+                  "host read");
+        }
+      }
+    }
   }
 
   // ---- post-recovery verification (I3/I4) ----
@@ -411,6 +575,7 @@ struct CrashRig {
         }
       }
     }
+    if (offload) co_await VerifyOffloadLeg(client);
     verified = true;
   }
 

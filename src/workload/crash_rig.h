@@ -76,6 +76,13 @@ struct CrashRunResult {
 struct DurabilityOptions {
   ods::DurabilityMode mode = ods::DurabilityMode::kPostedWriteOnly;
   bool volatile_staging = false;
+  // Arm the NPMUs' command engines (pm/offload.h) and append an offload
+  // leg to the scenario: a framed log is written to a region, then
+  // VerifyScan / ShipReplay / a mirrored CompactTo are exercised against
+  // it. The verifier additionally checks that an acked CompactTo
+  // survives recovery (and an errored one left pre- OR post-compact
+  // state), and that the device's scan agrees with the host's view.
+  bool offload = false;
 };
 
 // Runs the scenario once. `crash_index == nullopt` (or mode kNone) is a

@@ -17,6 +17,10 @@ Rig::Rig(sim::Simulation& sim, RigConfig config)
       config_.pm_device != PmDeviceKind::kNpmuPair) {
     config_.num_pm_shards = 1;  // PMP prototype and disk mode: one shard
   }
+  if (config_.log_medium != tp::LogMedium::kPm) {
+    config_.pm_offload = false;  // nothing to offload on a disk trail
+  }
+  if (config_.pm_offload) config_.npmu.active_commands = true;
   nsk::ClusterConfig cluster_cfg = config_.cluster;
   cluster_cfg.num_cpus =
       config_.num_cpus + (config_.pm_device == PmDeviceKind::kPmp ? 1 : 0);
@@ -120,6 +124,7 @@ void Rig::BuildPm() {
 void Rig::BuildAdps() {
   tp::AdpConfig adp_cfg;
   adp_cfg.retain_log_image = config_.retain_log_image;
+  adp_cfg.offload_recovery = config_.pm_offload;
   for (int i = 0; i < config_.num_adps; ++i) {
     const std::string service = Catalog::AdpName(i);
     const int cpu = i % config_.num_cpus;
@@ -138,6 +143,7 @@ void Rig::BuildAdps() {
         sh_cfg.region_bytes = config_.pm_log_region_bytes;
         sh_cfg.piggyback_control = config_.pm_piggyback;
         sh_cfg.pipeline_depth = config_.pm_pipeline_depth;
+        sh_cfg.offload = config_.pm_offload;
         return std::make_unique<tp::ShardedPmLogDevice>(sh_cfg);
       }
       tp::PmLogConfig pm_cfg;
@@ -146,6 +152,7 @@ void Rig::BuildAdps() {
       pm_cfg.region_bytes = config_.pm_log_region_bytes;
       pm_cfg.piggyback_control = config_.pm_piggyback;
       pm_cfg.pipeline_depth = config_.pm_pipeline_depth;
+      pm_cfg.offload = config_.pm_offload;
       return std::make_unique<tp::PmLogDevice>(pm_cfg);
     };
     tp::AdpProcess& primary = sim_.AdoptStopped<tp::AdpProcess>(
@@ -192,6 +199,11 @@ void Rig::BuildDp2s() {
       dp2_cfg.adp_service = adp;
       dp2_cfg.force_audit_each_write = config_.force_audit_per_insert;
       dp2_cfg.data_volume = data_volumes_[static_cast<std::size_t>(idx)].get();
+      dp2_cfg.offload_replay = config_.pm_offload;
+      dp2_cfg.file_id = static_cast<std::uint32_t>(f);
+      dp2_cfg.partition = static_cast<std::uint32_t>(part);
+      dp2_cfg.partitions_per_file =
+          static_cast<std::uint32_t>(config_.partitions_per_file);
       auto [p, b] = SpawnPair<tp::Dp2Process>(
           service, cpu, (cpu + 1) % config_.num_cpus, dp2_cfg);
       dp2_primaries_.push_back(p);

@@ -62,6 +62,12 @@ struct RigConfig {
   // out and wasting the audit bandwidth they already consumed.
   sim::SimDuration tmf_resolve_timeout = sim::Milliseconds(500);
   bool retain_log_image = false;  // needed by cold-recovery experiments
+  // Active NPMU offload (ISSUE 9): arm the device command engine and use
+  // it everywhere it helps — ADP cold recovery via device VerifyScan,
+  // DP2 redo via device ShipReplay, log truncation via device CompactTo.
+  // Off (the default) reproduces the passive rig byte-identically; on,
+  // every offload path still falls back to the host path on failure.
+  bool pm_offload = false;
   bool with_backups = true;       // process pairs (vs singletons)
   // Ablation: force each insert's audit to durable media synchronously
   // (fine-grained persistence) instead of buffering until commit.

@@ -15,7 +15,14 @@ as heredoc python snippets inside .github/workflows/ci.yml):
   crash       BENCH_crash_sweep.json: the run passed, and any durability
               sweep it contains flagged the expected-violation mode
               (posted-write-only must NOT be silently green) while the
-              correct modes swept clean.
+              correct modes swept clean. An offload sweep, if present,
+              must have run sites and swept clean.
+  nearpm      BENCH_nearpm.json schema + near-data offload gates: the
+              hard floors from the PR's acceptance criteria (recovery
+              fabric bytes reduced >= 10x, offload MTTR strictly better
+              than passive) and both ratios compared against the
+              checked-in baseline (bench/nearpm_baseline.json) with a
+              30% allowance.
 
 Usage: validate_bench_json.py [--bench-dir DIR] [--baseline-dir DIR] CHECK...
 """
@@ -144,7 +151,46 @@ def check_crash(bench_dir, _baseline_dir):
             assert violations == 0, f"{mode}: correct mode violated invariants"
         swept.append(mode)
         print(f"{mode}: {runs} runs, {violations} violations (expected_violation={expected})")
+    offload_runs = doc.get("offload_runs")
+    if offload_runs is not None:
+        # The active-NPMU leg: every correct durability mode swept with
+        # device commands in the fault path must hold I1-I4.
+        assert offload_runs > 0, "offload sweep ran zero sites"
+        assert doc["offload_violations"] == 0, \
+            "offload sweep violated invariants"
+        swept.append("offload")
+        print(f"offload: {offload_runs} runs, "
+              f"{doc['offload_violations']} violations")
     assert swept, "crash sweep JSON contains no durability-mode results"
+
+
+def check_nearpm(bench_dir, baseline_dir):
+    cur = load(os.path.join(bench_dir, "BENCH_nearpm.json"))
+    base = load(os.path.join(baseline_dir, "nearpm_baseline.json"))
+    keys = (
+        "passive_recovery_bytes", "offload_recovery_bytes",
+        "fabric_bytes_reduction", "passive_mttr_ms", "offload_mttr_ms",
+        "mttr_improvement", "passive_adp_ms", "offload_adp_ms",
+        "passive_dp2_ms", "offload_dp2_ms", "offload_cmd_ops",
+    )
+    for key in keys:
+        assert key in cur, f"BENCH_nearpm.json: missing {key}"
+    # Hard floors (the PR's acceptance criteria), independent of baseline.
+    assert cur["fabric_bytes_reduction"] >= 10, (
+        f"recovery fabric bytes reduced only "
+        f"{cur['fabric_bytes_reduction']:.1f}x (need >= 10x)")
+    assert cur["offload_mttr_ms"] < cur["passive_mttr_ms"], (
+        f"offload MTTR {cur['offload_mttr_ms']:.1f}ms is not better than "
+        f"passive {cur['passive_mttr_ms']:.1f}ms")
+    assert cur["offload_cmd_ops"] > 0, "offload leg issued no device commands"
+    # Regression gates vs the checked-in baseline (30% allowance, same
+    # shape as the scaleout gate — simulated time is deterministic per
+    # build, so a real regression moves these ratios, not host noise).
+    for ratio in ("fabric_bytes_reduction", "mttr_improvement"):
+        floor = base[ratio] * 0.7
+        print(f"{ratio}: {cur[ratio]:.2f}x "
+              f"(baseline {base[ratio]:.2f}x, floor {floor:.2f}x)")
+        assert cur[ratio] >= floor, f"{ratio} regressed vs baseline"
 
 
 CHECKS = {
@@ -152,6 +198,7 @@ CHECKS = {
     "scaleout": check_scaleout,
     "durability": check_durability,
     "crash": check_crash,
+    "nearpm": check_nearpm,
 }
 
 
