@@ -36,13 +36,17 @@ class BenchJson {
     root_.Set(key, std::move(value));
   }
 
-  // Standard latency summary, nested under `prefix`.
+  // Standard latency summary, nested under `prefix`. Every emitter gets
+  // the deep-tail quantiles too: p99.9/p99.99 are the SLO currency of
+  // the scenario suite, and uniform keys keep the validator simple.
   void SetLatency(const std::string& prefix, const LatencyHistogram& h) {
     JsonValue& o = Nested(prefix);
     o.Set("count", h.count());
     o.Set("mean_us", h.mean() / 1e3);
     o.Set("p50_us", static_cast<double>(h.Percentile(0.5)) / 1e3);
     o.Set("p99_us", static_cast<double>(h.Percentile(0.99)) / 1e3);
+    o.Set("p999_us", static_cast<double>(h.Percentile(0.999)) / 1e3);
+    o.Set("p9999_us", static_cast<double>(h.Percentile(0.9999)) / 1e3);
   }
 
   // Throughput derived from a latency histogram of back-to-back ops,

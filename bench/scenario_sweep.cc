@@ -1,0 +1,319 @@
+// Scenario sweep — the workload suite beyond hot-stock (ROADMAP item 5).
+//
+// Four scenarios run against the PM-backed rig and land in
+// BENCH_scenarios.json:
+//
+//   oltp     Zipfian read/write mix at several skews θ: committed/aborted
+//            txns, full tail (p50..p99.99) and the lock-contention
+//            readout (waits/txn, wait-time p99, deadlock timeouts).
+//            θ=0 is the uniform control; the contention_ratio scalar
+//            (hot waits/txn over uniform waits/txn) is gated against
+//            bench/scenario_baseline.json so the suite keeps actually
+//            exercising tp/lock.cc.
+//   scan     Long shared-lock range scans against update traffic:
+//            writer tail with and without concurrent scanners
+//            (strict 2PL makes scan locks visible to writers).
+//   flash    Open-loop fleet with a 10x Poisson arrival spike:
+//            windowed p99 time series and time-to-SLO-recovery.
+//   tenants  Mixed boxcar sizes sharing one rig: per-tenant tails.
+//
+// Env knobs:
+//   ODS_SCENARIO_MATRIX=small  -> trimmed θ set + smaller flash fleet (CI)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/scenario.h"
+#include "workload/sweep.h"
+
+using namespace ods;
+using namespace ods::bench;
+
+namespace {
+
+workload::RigConfig ScenarioRig() {
+  workload::RigConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.num_files = 4;
+  cfg.partitions_per_file = 2;
+  cfg.num_adps = 4;
+  cfg.log_medium = tp::LogMedium::kPm;
+  cfg.pm_device = workload::PmDeviceKind::kNpmuPair;
+  cfg.pm_tcb = true;
+  // Flash-crowd overload queues group commits legitimately; resolve on a
+  // generous budget so saturation sheds at the client, not mid-commit.
+  cfg.tmf_resolve_timeout = sim::Seconds(4);
+  return cfg;
+}
+
+struct OltpCell {
+  double theta = 0;
+  double read_fraction = 0;
+  workload::OltpResult result;
+};
+
+void AddLatencyFields(JsonValue& row, const LatencyHistogram& h,
+                      const char* prefix) {
+  const std::string p(prefix);
+  row.Set(p + "p50_ms", static_cast<double>(h.Percentile(0.50)) / 1e6);
+  row.Set(p + "p99_ms", static_cast<double>(h.Percentile(0.99)) / 1e6);
+  row.Set(p + "p999_ms", static_cast<double>(h.Percentile(0.999)) / 1e6);
+  row.Set(p + "p9999_ms", static_cast<double>(h.Percentile(0.9999)) / 1e6);
+}
+
+}  // namespace
+
+int main() {
+  const bool small = [] {
+    const char* env = std::getenv("ODS_SCENARIO_MATRIX");
+    return env != nullptr && std::strcmp(env, "small") == 0;
+  }();
+
+  // ---- Scenario 1: Zipfian OLTP skew sweep --------------------------------
+  std::vector<OltpCell> oltp;
+  if (small) {
+    oltp = {{0.0, 0.5, {}}, {0.99, 0.5, {}}};
+  } else {
+    oltp = {{0.0, 0.5, {}}, {0.5, 0.5, {}}, {0.9, 0.5, {}},
+            {0.99, 0.5, {}}, {0.99, 0.9, {}}};
+  }
+  workload::ParallelSweep(static_cast<int>(oltp.size()), [&](int idx) {
+    OltpCell& cell = oltp[static_cast<std::size_t>(idx)];
+    sim::Simulation sim(11);
+    workload::Rig rig(sim, ScenarioRig());
+    sim.RunFor(sim::Seconds(1));
+    workload::OltpConfig cfg;
+    cfg.drivers = 8;
+    cfg.txns_per_driver = small ? 50 : 100;
+    cfg.ops_per_txn = 4;
+    cfg.read_fraction = cell.read_fraction;
+    cfg.theta = cell.theta;
+    cfg.keys_per_file = 400;
+    cfg.record_bytes = 256;
+    cfg.seed = 1234;
+    cell.result = workload::RunZipfianOltp(rig, cfg);
+  });
+
+  std::printf("zipfian OLTP mix: 8 drivers x 4 ops, shared keyspace\n\n");
+  std::printf("%-6s %-5s %9s %8s %10s %9s %9s %11s %12s\n", "theta", "rd",
+              "committed", "aborted", "txn/s", "p99 ms", "p99.9 ms",
+              "waits/txn", "lk-p99 ms");
+  PrintRule(88);
+  double uniform_wpt = 0, hot_wpt = 0, hot_lock_p99_ms = 0;
+  std::uint64_t hot_timeouts = 0;
+  for (const OltpCell& c : oltp) {
+    const auto h = c.result.MergedResponse();
+    const double wpt = c.result.WaitsPerTxn();
+    const double lk_p99 =
+        static_cast<double>(c.result.locks.wait_time.Percentile(0.99)) / 1e6;
+    if (c.theta == 0.0) uniform_wpt = std::max(uniform_wpt, wpt);
+    if (c.read_fraction == 0.5 && wpt > hot_wpt) {
+      hot_wpt = wpt;
+      hot_lock_p99_ms = lk_p99;
+      hot_timeouts = c.result.locks.timeouts;
+    }
+    std::printf("%-6.2f %-5.2f %9llu %8llu %10.0f %9.2f %9.2f %11.3f %12.2f\n",
+                c.theta, c.read_fraction,
+                static_cast<unsigned long long>(c.result.TotalCommitted()),
+                static_cast<unsigned long long>(c.result.TotalAborted()),
+                c.result.elapsed_seconds > 0
+                    ? static_cast<double>(c.result.TotalCommitted()) /
+                          c.result.elapsed_seconds
+                    : 0,
+                static_cast<double>(h.Percentile(0.99)) / 1e6,
+                static_cast<double>(h.Percentile(0.999)) / 1e6, wpt, lk_p99);
+  }
+  PrintRule(88);
+  const double contention_ratio = hot_wpt / std::max(uniform_wpt, 0.01);
+  std::printf("contention ratio (hot waits/txn over uniform): %.1fx; "
+              "deadlock timeouts at hot skew: %llu\n\n",
+              contention_ratio, static_cast<unsigned long long>(hot_timeouts));
+
+  // ---- Scenario 2: scans vs commit traffic --------------------------------
+  workload::ScanMixResult scan_base, scan_mixed;
+  workload::ParallelSweep(2, [&](int idx) {
+    sim::Simulation sim(22);
+    workload::Rig rig(sim, ScenarioRig());
+    sim.RunFor(sim::Seconds(1));
+    workload::ScanMixConfig cfg;
+    cfg.writers = 4;
+    cfg.writer_txns = small ? 30 : 60;
+    cfg.scanners = idx == 0 ? 0 : 2;
+    cfg.scans_per_scanner = small ? 4 : 8;
+    cfg.keys_per_file = 300;
+    cfg.seed = 99;
+    (idx == 0 ? scan_base : scan_mixed) = workload::RunScanMix(rig, cfg);
+  });
+  const double base_w_p99 =
+      static_cast<double>(scan_base.writer_response.Percentile(0.99)) / 1e6;
+  const double mixed_w_p99 =
+      static_cast<double>(scan_mixed.writer_response.Percentile(0.99)) / 1e6;
+  const double interference =
+      base_w_p99 > 0 ? mixed_w_p99 / base_w_p99 : 0;
+  std::printf("scan-vs-commit: writer p99 %.2f ms alone -> %.2f ms with "
+              "%llu concurrent scans (%.1fx); %llu records scanned, scan "
+              "p99 %.1f ms, writer aborts %llu -> %llu\n\n",
+              base_w_p99, mixed_w_p99,
+              static_cast<unsigned long long>(scan_mixed.scans_completed),
+              interference,
+              static_cast<unsigned long long>(scan_mixed.records_scanned),
+              static_cast<double>(scan_mixed.scan_duration.Percentile(0.99)) /
+                  1e6,
+              static_cast<unsigned long long>(scan_base.writer_aborted),
+              static_cast<unsigned long long>(scan_mixed.writer_aborted));
+
+  // ---- Scenario 3: flash crowd -------------------------------------------
+  workload::FlashCrowdConfig fc;
+  if (small) {
+    // Same 64-driver fleet (the spike must still exceed capacity so the
+    // SLO readout stays non-trivial in CI), just a shorter run.
+    fc.fleet.open_loop_duration = sim::Seconds(8);
+    fc.fleet.spike_start = sim::Seconds(3);
+    fc.fleet.spike_duration = sim::Milliseconds(1500);
+  }
+  workload::FlashCrowdResult flash;
+  {
+    sim::Simulation sim(33);
+    workload::Rig rig(sim, ScenarioRig());
+    sim.RunFor(sim::Seconds(1));
+    flash = workload::RunFlashCrowd(rig, fc);
+  }
+  std::uint64_t flash_arrivals = 0;
+  for (const auto& d : flash.fleet.drivers) flash_arrivals += d.arrivals;
+  std::printf("flash crowd: %dx spike on %d open-loop drivers; baseline p99 "
+              "%.2f ms, worst windowed p99 %.2f ms, SLO(%.0f ms) violated in "
+              "%d windows, recovery %.0f ms after spike end\n\n",
+              static_cast<int>(fc.fleet.spike_factor), fc.fleet.drivers,
+              flash.baseline_p99_ms, flash.spike_p99_ms, fc.slo_p99_ms,
+              flash.violating_windows, flash.recovery_ms);
+
+  // ---- Scenario 4: multi-tenant ------------------------------------------
+  workload::MultiTenantConfig mt;
+  workload::MultiTenantResult tenants;
+  {
+    sim::Simulation sim(44);
+    workload::Rig rig(sim, ScenarioRig());
+    sim.RunFor(sim::Seconds(1));
+    tenants = workload::RunMultiTenant(rig, mt);
+  }
+  std::printf("multi-tenant: %zu tenants sharing the rig, %.0f rec/s total\n",
+              tenants.tenants.size(), tenants.Throughput());
+  std::printf("%-7s %-7s %-7s %10s %8s %9s %9s %9s\n", "tenant", "boxcar",
+              "recB", "committed", "aborted", "p50 ms", "p99 ms", "p99.9 ms");
+  PrintRule(72);
+  for (std::size_t i = 0; i < tenants.tenants.size(); ++i) {
+    const auto& t = tenants.tenants[i];
+    const auto& spec = mt.tenants[i];
+    std::printf("%-7d %-7d %-7zu %10llu %8llu %9.2f %9.2f %9.2f\n", t.tenant,
+                spec.inserts_per_txn, spec.record_bytes,
+                static_cast<unsigned long long>(t.committed),
+                static_cast<unsigned long long>(t.aborted),
+                static_cast<double>(t.txn_response.Percentile(0.50)) / 1e6,
+                static_cast<double>(t.txn_response.Percentile(0.99)) / 1e6,
+                static_cast<double>(t.txn_response.Percentile(0.999)) / 1e6);
+  }
+  PrintRule(72);
+
+  // ---- JSON ---------------------------------------------------------------
+  BenchJson json("scenarios");
+  json.Set("matrix", small ? JsonValue("small") : JsonValue("full"));
+
+  JsonValue oltp_rows = JsonValue::Array();
+  for (const OltpCell& c : oltp) {
+    const auto h = c.result.MergedResponse();
+    JsonValue row = JsonValue::Object();
+    row.Set("theta", c.theta);
+    row.Set("read_fraction", c.read_fraction);
+    row.Set("drivers", 8);
+    row.Set("committed_txns", static_cast<double>(c.result.TotalCommitted()));
+    row.Set("aborted_txns", static_cast<double>(c.result.TotalAborted()));
+    row.Set("txn_per_sec",
+            c.result.elapsed_seconds > 0
+                ? static_cast<double>(c.result.TotalCommitted()) /
+                      c.result.elapsed_seconds
+                : 0);
+    AddLatencyFields(row, h, "");
+    row.Set("lock_grants", static_cast<double>(c.result.locks.grants));
+    row.Set("lock_waits", static_cast<double>(c.result.locks.waits));
+    row.Set("lock_timeouts", static_cast<double>(c.result.locks.timeouts));
+    row.Set("waits_per_txn", c.result.WaitsPerTxn());
+    row.Set("lock_wait_p99_ms",
+            static_cast<double>(c.result.locks.wait_time.Percentile(0.99)) /
+                1e6);
+    oltp_rows.Append(std::move(row));
+  }
+  json.Set("oltp", std::move(oltp_rows));
+  json.Set("contention_ratio", contention_ratio);
+  json.Set("hot_waits_per_txn", hot_wpt);
+  json.Set("uniform_waits_per_txn", uniform_wpt);
+  json.Set("hot_lock_wait_p99_ms", hot_lock_p99_ms);
+
+  JsonValue scan_obj = JsonValue::Object();
+  auto scan_side = [](const workload::ScanMixResult& r) {
+    JsonValue o = JsonValue::Object();
+    o.Set("writer_committed", static_cast<double>(r.writer_committed));
+    o.Set("writer_aborted", static_cast<double>(r.writer_aborted));
+    AddLatencyFields(o, r.writer_response, "writer_");
+    o.Set("scans_completed", static_cast<double>(r.scans_completed));
+    o.Set("scans_aborted", static_cast<double>(r.scans_aborted));
+    o.Set("records_scanned", static_cast<double>(r.records_scanned));
+    o.Set("scan_p99_ms",
+          static_cast<double>(r.scan_duration.Percentile(0.99)) / 1e6);
+    o.Set("lock_waits", static_cast<double>(r.locks.waits));
+    o.Set("lock_timeouts", static_cast<double>(r.locks.timeouts));
+    return o;
+  };
+  scan_obj.Set("baseline", scan_side(scan_base));
+  scan_obj.Set("mixed", scan_side(scan_mixed));
+  scan_obj.Set("writer_p99_interference_ratio", interference);
+  json.Set("scan", std::move(scan_obj));
+
+  JsonValue flash_obj = JsonValue::Object();
+  flash_obj.Set("drivers", fc.fleet.drivers);
+  flash_obj.Set("spike_factor", fc.fleet.spike_factor);
+  flash_obj.Set("slo_p99_ms", fc.slo_p99_ms);
+  flash_obj.Set("arrivals", static_cast<double>(flash_arrivals));
+  flash_obj.Set("committed_txns",
+                static_cast<double>(flash.fleet.TotalCommitted()));
+  flash_obj.Set("baseline_p99_ms", flash.baseline_p99_ms);
+  flash_obj.Set("spike_p99_ms", flash.spike_p99_ms);
+  flash_obj.Set("violating_windows", flash.violating_windows);
+  flash_obj.Set("recovery_ms", flash.recovery_ms);
+  JsonValue windows = JsonValue::Array();
+  for (const auto& w : flash.windows) {
+    if (w.count == 0) continue;  // pre-start / post-drain silence
+    JsonValue row = JsonValue::Object();
+    row.Set("t_s", w.t_s);
+    row.Set("count", static_cast<double>(w.count));
+    row.Set("p50_ms", w.p50_ms);
+    row.Set("p99_ms", w.p99_ms);
+    row.Set("violates_slo", w.violates_slo ? 1 : 0);
+    windows.Append(std::move(row));
+  }
+  flash_obj.Set("windows", std::move(windows));
+  json.Set("flash", std::move(flash_obj));
+
+  JsonValue tenant_rows = JsonValue::Array();
+  for (std::size_t i = 0; i < tenants.tenants.size(); ++i) {
+    const auto& t = tenants.tenants[i];
+    const auto& spec = mt.tenants[i];
+    JsonValue row = JsonValue::Object();
+    row.Set("tenant", t.tenant);
+    row.Set("drivers", spec.drivers);
+    row.Set("boxcar", spec.inserts_per_txn);
+    row.Set("record_bytes", static_cast<double>(spec.record_bytes));
+    row.Set("committed_txns", static_cast<double>(t.committed));
+    row.Set("aborted_txns", static_cast<double>(t.aborted));
+    row.Set("records", static_cast<double>(t.records));
+    AddLatencyFields(row, t.txn_response, "");
+    tenant_rows.Append(std::move(row));
+  }
+  json.Set("tenants", std::move(tenant_rows));
+  json.Set("tenant_total_rec_per_sec", tenants.Throughput());
+
+  json.Write();
+  return 0;
+}

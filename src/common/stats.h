@@ -52,6 +52,41 @@ class LatencyHistogram {
   std::uint64_t max_ = 0;
 };
 
+// Latency histograms bucketed by sample *timestamp* into fixed-width
+// consecutive windows. Used for time-to-SLO-recovery measurement: a
+// flash-crowd run records every response into the window of its arrival,
+// then walks the per-window p99s to find when the tail got back under
+// the SLO. Samples before `start_ns` clamp to window 0; samples past the
+// end clamp to the last window.
+class WindowedLatency {
+ public:
+  WindowedLatency(std::int64_t start_ns, std::int64_t width_ns, int windows)
+      : start_ns_(start_ns), width_ns_(width_ns),
+        windows_(static_cast<std::size_t>(windows)) {}
+
+  void Record(std::int64_t at_ns, std::uint64_t latency_ns) noexcept {
+    std::int64_t idx = (at_ns - start_ns_) / width_ns_;
+    if (idx < 0) idx = 0;
+    const auto last = static_cast<std::int64_t>(windows_.size()) - 1;
+    if (idx > last) idx = last;
+    windows_[static_cast<std::size_t>(idx)].Record(latency_ns);
+  }
+
+  [[nodiscard]] std::int64_t start_ns() const noexcept { return start_ns_; }
+  [[nodiscard]] std::int64_t width_ns() const noexcept { return width_ns_; }
+  [[nodiscard]] std::int64_t window_start_ns(int i) const noexcept {
+    return start_ns_ + width_ns_ * i;
+  }
+  [[nodiscard]] const std::vector<LatencyHistogram>& windows() const noexcept {
+    return windows_;
+  }
+
+ private:
+  std::int64_t start_ns_;
+  std::int64_t width_ns_;
+  std::vector<LatencyHistogram> windows_;
+};
+
 // Simple accumulating counter with a name, for throughput/byte accounting.
 class Counter {
  public:

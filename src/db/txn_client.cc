@@ -81,6 +81,41 @@ Task<Result<std::vector<std::byte>>> TxnClient::Read(Transaction& txn,
   co_return std::move(r->payload);
 }
 
+Task<Result<TxnClient::ScanResult>> TxnClient::Scan(Transaction& txn,
+                                                    std::uint32_t file,
+                                                    std::uint64_t lo,
+                                                    std::uint64_t hi) {
+  ScanResult total;
+  const int parts = catalog_->partitions_per_file();
+  for (int p = 0; p < parts; ++p) {
+    const std::string dp2 = Catalog::Dp2Name(static_cast<int>(file), p);
+    Serializer s;
+    s.PutU64(txn.id);
+    s.PutU32(file);
+    s.PutU64(lo);
+    s.PutU64(hi);
+    txn.dp2s.insert(dp2);
+    // A scan may queue behind many record locks; no retries — a replayed
+    // scan would re-wait the whole chain on a server that is still alive.
+    nsk::CallOptions opts;
+    opts.timeout = sim::Seconds(30);
+    opts.max_attempts = 1;
+    auto r = co_await host_->Call(dp2, tp::kDp2Scan, std::move(s).Take(),
+                                  opts);
+    if (!r.ok()) co_return r.status();
+    if (!r->status.ok()) co_return r->status;
+    Deserializer d(r->payload);
+    std::uint32_t count = 0;
+    std::uint64_t bytes = 0;
+    if (!d.GetU32(count) || !d.GetU64(bytes)) {
+      co_return Status(ErrorCode::kInternal, "malformed scan reply");
+    }
+    total.records += count;
+    total.bytes += bytes;
+  }
+  co_return total;
+}
+
 std::vector<std::byte> TxnClient::ParticipantPayload(
     const Transaction& txn) const {
   Serializer s;

@@ -49,6 +49,17 @@ class TxnClient {
                                                  std::uint32_t file,
                                                  std::uint64_t key);
 
+  // Shared-lock range scan over [lo, hi] of `file`, visiting every
+  // partition in turn. Locks accumulate until the transaction resolves
+  // (strict 2PL), which is what makes a long scan interfere with commit
+  // traffic.
+  struct ScanResult {
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+  };
+  sim::Task<Result<ScanResult>> Scan(Transaction& txn, std::uint32_t file,
+                                     std::uint64_t lo, std::uint64_t hi);
+
   sim::Task<Status> Commit(Transaction& txn);
   sim::Task<Status> Abort(Transaction& txn);
 

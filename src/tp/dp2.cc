@@ -152,6 +152,48 @@ Task<void> Dp2Process::HandleRead(Request& req) {
   req.Respond(OkStatus(), it->second);
 }
 
+Task<void> Dp2Process::HandleScan(Request& req) {
+  Deserializer d(req.payload);
+  std::uint64_t txn = 0;
+  std::uint32_t file = 0;
+  std::uint64_t lo = 0, hi = 0;
+  if (!d.GetU64(txn) || !d.GetU32(file) || !d.GetU64(lo) || !d.GetU64(hi)) {
+    req.Respond(Status(ErrorCode::kInvalidArgument, "bad scan payload"));
+    co_return;
+  }
+  // Snapshot the key names in range first: lock acquisition suspends the
+  // fiber, and concurrent writes may grow the table under us. Records
+  // inserted after this point are not seen (no phantom protection — this
+  // models a read-committed range scan under strict 2PL record locks).
+  std::vector<LockKey> keys;
+  for (auto it = table_.lower_bound(LockKey{file, lo});
+       it != table_.end() && it->first.file == file && it->first.key <= hi;
+       ++it) {
+    keys.push_back(it->first);
+  }
+  std::uint32_t count = 0;
+  std::uint64_t bytes = 0;
+  for (const LockKey& key : keys) {
+    Status lock_st = co_await locks_.Acquire(*this, txn, key,
+                                             LockMode::kShared,
+                                             config_.lock_timeout);
+    if (!lock_st.ok()) {
+      req.Respond(Status(ErrorCode::kAborted,
+                         "scan lock conflict: " + lock_st.ToString()));
+      co_return;
+    }
+    co_await Compute(config_.scan_cpu);
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;  // undone by an abort while we waited
+    ++count;
+    bytes += it->second.size();
+  }
+  Serializer s;
+  s.PutU32(count);
+  s.PutU64(bytes);
+  req.Respond(OkStatus(), std::move(s).Take());
+}
+
 Task<void> Dp2Process::HandleResolve(Request& req) {
   Deserializer d(req.payload);
   std::uint64_t txn = 0;
@@ -322,6 +364,9 @@ Task<void> Dp2Process::HandleRequest(Request req) {
       break;
     case kDp2Read:
       co_await HandleRead(req);
+      break;
+    case kDp2Scan:
+      co_await HandleScan(req);
       break;
     case kDp2Resolve:
       co_await HandleResolve(req);

@@ -41,6 +41,9 @@ struct Dp2Config {
   // traditional I/O programming model", but cheap with PM).
   bool force_audit_each_write = false;
   sim::SimDuration apply_cpu = sim::Microseconds(20);
+  // Per-record CPU charged by kDp2Scan (reading is cheaper than the full
+  // apply/audit path of a write).
+  sim::SimDuration scan_cpu = sim::Microseconds(2);
   sim::SimDuration lock_timeout = sim::Milliseconds(500);
   sim::SimDuration flush_interval = sim::Milliseconds(250);
   bool background_flush = true;
@@ -102,6 +105,7 @@ class Dp2Process : public nsk::PairMember {
 
   sim::Task<void> HandleWrite(nsk::Request& req);
   sim::Task<void> HandleRead(nsk::Request& req);
+  sim::Task<void> HandleScan(nsk::Request& req);
   sim::Task<void> HandleResolve(nsk::Request& req);
   sim::Task<void> FlushLoop();
   // Cold-recovery redo via device ShipReplay; true = redo complete.

@@ -47,18 +47,31 @@ Task<Status> LockManager::Acquire(sim::Process& proc, std::uint64_t txn,
   ++waits_;
   st.queue.push_back(Waiter{txn, mode, sim::Promise<Status>(*sim_), false});
   auto future = st.queue.back().granted.GetFuture();
+  const sim::SimTime wait_start = sim_->Now();
   auto result = co_await future.WaitFor(proc, timeout);
+  wait_time_.Record(static_cast<std::uint64_t>((sim_->Now() - wait_start).ns));
   if (result.has_value()) {
     ++grants_;
     co_return *result;  // granted (PumpQueue recorded the hold)
   }
-  // Timed out: cancel our queue entry if it is still there.
+  if (future.ready()) {
+    // The timer claimed our wait in the same instant PumpQueue granted
+    // the lock: the grant is already recorded in holders/held_by_txn_,
+    // so we must accept it — returning kTimedOut here would leave a
+    // zombie hold that the aborting txn never knows to release.
+    ++grants_;
+    co_return OkStatus();
+  }
+  // Timed out: cancel our queue entry if it is still there, and re-pump —
+  // a dead exclusive waiter at the head must not keep blocking grantable
+  // waiters behind it until some unrelated ReleaseAll happens by.
   ++timeouts_;
   auto it = locks_.find(key);
   if (it != locks_.end()) {
     for (Waiter& w : it->second.queue) {
       if (w.txn == txn && !w.granted.resolved()) w.cancelled = true;
     }
+    PumpQueue(key);
   }
   co_return Status(ErrorCode::kTimedOut,
                    "lock wait timed out (presumed deadlock)");
@@ -75,8 +88,11 @@ void LockManager::PumpQueue(LockKey key) {
       continue;
     }
     if (!Compatible(st, w.txn, w.mode)) break;  // strict FIFO
+    const bool already_holds =
+        std::any_of(st.holders.begin(), st.holders.end(),
+                    [&](const Holder& h) { return h.txn == w.txn; });
     Grant(st, w.txn, w.mode);
-    held_by_txn_[w.txn].push_back(key);
+    if (!already_holds) held_by_txn_[w.txn].push_back(key);
     w.granted.Set(OkStatus());
     st.queue.pop_front();
     // Multiple shared waiters may be granted together; an exclusive

@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "sim/process.h"
 #include "sim/sync.h"
@@ -54,6 +55,13 @@ class LockManager {
   [[nodiscard]] std::uint64_t waits() const noexcept { return waits_; }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
 
+  // Sim-time spent blocked on the slow path (queued waits only; fast-path
+  // grants record nothing). Kept as a plain member — NOT in the sim
+  // metrics registry — so uncontended workloads stay byte-identical.
+  [[nodiscard]] const LatencyHistogram& wait_time() const noexcept {
+    return wait_time_;
+  }
+
  private:
   struct Holder {
     std::uint64_t txn;
@@ -82,6 +90,7 @@ class LockManager {
   std::uint64_t grants_ = 0;
   std::uint64_t waits_ = 0;
   std::uint64_t timeouts_ = 0;
+  LatencyHistogram wait_time_;
 };
 
 }  // namespace ods::tp

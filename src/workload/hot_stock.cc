@@ -93,6 +93,9 @@ Task<bool> HotStockDriver::RunOneTxn(db::TxnClient& client,
   const auto resp_ns =
       static_cast<std::uint64_t>((sim().Now() - measure_from).ns);
   stats_->txn_response.Record(resp_ns);
+  if (config_.response_windows != nullptr) {
+    config_.response_windows->Record(measure_from.ns, resp_ns);
+  }
   sim().metrics().GetHistogram("workload.txn_response_ns").Record(resp_ns);
   if (Tracer* tr = sim().tracer(); tr != nullptr && tr->enabled()) {
     tr->Complete(TraceLane::kWorkload, "txn", measure_from.ns, sim().Now().ns,

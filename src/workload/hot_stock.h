@@ -61,6 +61,11 @@ struct HotStockConfig {
   // Master seed for arrival processes, split into per-driver streams
   // (Rng::ForStream): adding drivers never perturbs existing streams.
   std::uint64_t arrival_seed = 42;
+
+  // Optional time-windowed response collector (flash-crowd SLO-recovery
+  // measurement; see workload/scenario.h). Responses are classified by
+  // ARRIVAL time. Not owned; null = off.
+  WindowedLatency* response_windows = nullptr;
 };
 
 struct DriverStats {

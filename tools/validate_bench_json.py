@@ -17,6 +17,12 @@ as heredoc python snippets inside .github/workflows/ci.yml):
               (posted-write-only must NOT be silently green) while the
               correct modes swept clean. An offload sweep, if present,
               must have run sites and swept clean.
+  scenarios   BENCH_scenarios.json schema (all four scenarios present
+              with deep-tail quantiles) + contention gate: the Zipfian
+              hot/uniform waits-per-txn ratio may not fall more than 30%
+              below the checked-in baseline
+              (bench/scenario_baseline.json) — the suite must keep
+              actually contending on tp::LockManager.
   nearpm      BENCH_nearpm.json schema + near-data offload gates: the
               hard floors from the PR's acceptance criteria (recovery
               fabric bytes reduced >= 10x, offload MTTR strictly better
@@ -193,12 +199,92 @@ def check_nearpm(bench_dir, baseline_dir):
         assert cur[ratio] >= floor, f"{ratio} regressed vs baseline"
 
 
+def check_scenarios(bench_dir, baseline_dir):
+    cur = load(os.path.join(bench_dir, "BENCH_scenarios.json"))
+    base = load(os.path.join(baseline_dir, "scenario_baseline.json"))
+
+    # ---- Zipfian OLTP rows: full tail + lock readout per skew cell ----
+    oltp_keys = (
+        "theta", "read_fraction", "committed_txns", "aborted_txns",
+        "txn_per_sec", "p50_ms", "p99_ms", "p999_ms", "p9999_ms",
+        "lock_grants", "lock_waits", "lock_timeouts", "waits_per_txn",
+        "lock_wait_p99_ms",
+    )
+    assert cur.get("oltp"), "BENCH_scenarios.json: no oltp rows"
+    thetas = set()
+    for row in cur["oltp"]:
+        missing = [k for k in oltp_keys if k not in row]
+        assert not missing, f"oltp row missing {missing}: {row}"
+        assert row["committed_txns"] > 0, f"oltp cell committed nothing: {row}"
+        thetas.add(row["theta"])
+    assert 0.0 in thetas, "oltp sweep lacks the uniform (theta=0) control"
+    assert max(thetas) >= 0.9, "oltp sweep lacks a hot skew (theta >= 0.9)"
+    # The hot cell must show non-trivial lock contention: queued waits
+    # actually happened and the wait-time histogram is populated.
+    hot = [r for r in cur["oltp"] if r["theta"] >= 0.9 and r["read_fraction"] == 0.5]
+    assert any(r["lock_waits"] > 0 and r["lock_wait_p99_ms"] > 0 for r in hot), \
+        f"hot-skew cells show no lock contention: {hot}"
+
+    # ---- contention regression gate (same shape as the scaleout gate:
+    # simulated time is deterministic per build, so a real behavior
+    # change moves this ratio, not host noise) ----
+    got = cur["contention_ratio"]
+    floor = base["contention_ratio"] * 0.7
+    print(f"contention_ratio: {got:.2f}x "
+          f"(baseline {base['contention_ratio']:.2f}x, floor {floor:.2f}x)")
+    assert got >= floor, "Zipfian lock contention regressed vs baseline"
+
+    # ---- scan-vs-commit: both sides present, scans did real work ----
+    scan = cur.get("scan")
+    assert scan, "BENCH_scenarios.json: missing scan section"
+    for side in ("baseline", "mixed"):
+        s = scan.get(side)
+        assert s, f"scan section missing {side}"
+        assert s["writer_committed"] > 0, f"scan {side}: writers committed nothing"
+    assert scan["mixed"]["scans_completed"] > 0, "mixed scan leg completed no scans"
+    assert scan["mixed"]["records_scanned"] > 0, "scans touched no records"
+    assert "writer_p99_interference_ratio" in scan, "missing interference ratio"
+
+    # ---- flash crowd: windowed SLO readout is self-consistent ----
+    flash = cur.get("flash")
+    assert flash, "BENCH_scenarios.json: missing flash section"
+    for key in ("arrivals", "committed_txns", "baseline_p99_ms",
+                "spike_p99_ms", "violating_windows", "recovery_ms", "windows"):
+        assert key in flash, f"flash section missing {key}"
+    assert flash["arrivals"] > 0 and flash["committed_txns"] > 0, \
+        "flash crowd processed no traffic"
+    assert flash["spike_p99_ms"] >= flash["baseline_p99_ms"], \
+        "spike p99 below baseline p99 — window classification is broken"
+    assert flash["windows"], "flash crowd emitted no windows"
+    violating = sum(1 for w in flash["windows"] if w["violates_slo"])
+    assert violating == flash["violating_windows"], \
+        "violating_windows disagrees with the window series"
+    if flash["violating_windows"] > 0:
+        assert flash["recovery_ms"] != 0, \
+            "SLO broke but recovery_ms was not measured"
+    print(f"flash: spike p99 {flash['spike_p99_ms']:.1f}ms over baseline "
+          f"{flash['baseline_p99_ms']:.1f}ms, {violating} violating windows, "
+          f"recovery {flash['recovery_ms']:.0f}ms")
+
+    # ---- multi-tenant: per-tenant tails all populated ----
+    tenants = cur.get("tenants")
+    assert tenants and len(tenants) >= 3, "expected >= 3 tenant rows"
+    for row in tenants:
+        for key in ("tenant", "boxcar", "committed_txns", "p50_ms",
+                    "p99_ms", "p999_ms", "p9999_ms"):
+            assert key in row, f"tenant row missing {key}: {row}"
+        assert row["committed_txns"] > 0, f"tenant committed nothing: {row}"
+    print(f"scenarios complete: {len(cur['oltp'])} oltp cells, "
+          f"{len(tenants)} tenants")
+
+
 CHECKS = {
     "core": check_core,
     "scaleout": check_scaleout,
     "durability": check_durability,
     "crash": check_crash,
     "nearpm": check_nearpm,
+    "scenarios": check_scenarios,
 }
 
 
